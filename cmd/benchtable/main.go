@@ -1,0 +1,335 @@
+// Command benchtable regenerates every figure and table of the paper's
+// evaluation section (see DESIGN.md §3 for the experiment index):
+//
+//	benchtable -fig 4      SPEC normalized execution time (5 configs, TSO + RC average)
+//	benchtable -fig 5      Spectre PoC latencies (delegates to the attack)
+//	benchtable -fig 6      SPEC normalized network traffic with SpecLoad/Expose-Validate split
+//	benchtable -fig 7      PARSEC normalized execution time
+//	benchtable -fig 8      PARSEC normalized network traffic
+//	benchtable -table 6    InvisiSpec operation characterization
+//	benchtable -table 7    L1-SB / LLC-SB hardware overhead
+//
+// -measure scales the per-run instruction budget; the defaults keep a full
+// figure under ~15 minutes on a laptop core. Shapes (who wins, by roughly
+// what factor) converge long before absolute numbers stop moving.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"invisispec/internal/config"
+	"invisispec/internal/harness"
+	"invisispec/internal/hwcost"
+	"invisispec/internal/stats"
+	"invisispec/internal/workload"
+)
+
+var (
+	figure  = flag.Int("fig", 0, "figure to regenerate (4, 6, 7 or 8); 5 is cmd/spectre-poc")
+	table   = flag.Int("table", 0, "table to regenerate (6 or 7)")
+	warmup  = flag.Uint64("warmup", 20000, "warmup instructions per run")
+	measure = flag.Uint64("measure", 100000, "measured instructions per run")
+	names   = flag.String("names", "", "comma-separated workload subset (default: all)")
+	csvPath = flag.String("csv", "", "also write every raw measurement to this CSV file")
+
+	csvW *csv.Writer
+)
+
+// csvOpen starts the raw-measurement CSV if requested.
+func csvOpen() func() {
+	if *csvPath == "" {
+		return func() {}
+	}
+	f, err := os.Create(*csvPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtable:", err)
+		os.Exit(1)
+	}
+	csvW = csv.NewWriter(f)
+	csvW.Write([]string{
+		"workload", "defense", "consistency", "instructions", "cycles", "cpi",
+		"traffic_total", "traffic_normal", "traffic_specload", "traffic_valexp",
+		"traffic_writeback", "traffic_fetch", "exposures", "validations_l1hit",
+		"validations_l1miss", "validation_failures", "squashes_per_minst",
+		"llcsb_hit_rate", "dram_reads",
+	})
+	return func() {
+		csvW.Flush()
+		f.Close()
+	}
+}
+
+func csvRow(r harness.Result) {
+	if csvW == nil {
+		return
+	}
+	c := r.Core
+	csvW.Write([]string{
+		r.Workload, r.Run.Defense.String(), r.Run.Consistency.String(),
+		fmt.Sprint(r.Instructions), fmt.Sprint(r.Cycles),
+		fmt.Sprintf("%.4f", r.CPI()),
+		fmt.Sprint(r.TotalTraffic()),
+		fmt.Sprint(r.Traffic[stats.TrafficNormal]),
+		fmt.Sprint(r.Traffic[stats.TrafficSpecLoad]),
+		fmt.Sprint(r.Traffic[stats.TrafficValExp]),
+		fmt.Sprint(r.Traffic[stats.TrafficWriteback]),
+		fmt.Sprint(r.Traffic[stats.TrafficFetch]),
+		fmt.Sprint(c.Exposures), fmt.Sprint(c.ValidationsL1Hit),
+		fmt.Sprint(c.ValidationsL1Miss), fmt.Sprint(c.ValidationFailures),
+		fmt.Sprintf("%.1f", c.SquashesPerMInst()),
+		fmt.Sprintf("%.4f", r.LLCSBRate),
+		fmt.Sprint(r.DRAMReads),
+	})
+}
+
+func main() {
+	flag.Parse()
+	defer csvOpen()()
+	switch {
+	case *figure == 4:
+		execTimeFigure(false)
+	case *figure == 6:
+		trafficFigure(false)
+	case *figure == 7:
+		execTimeFigure(true)
+	case *figure == 8:
+		trafficFigure(true)
+	case *table == 6:
+		table6()
+	case *table == 7:
+		table7()
+	default:
+		fmt.Fprintln(os.Stderr, "benchtable: pick one of -fig 4|6|7|8 or -table 6|7")
+		os.Exit(2)
+	}
+}
+
+func selectNames(parsec bool) []string {
+	all := workload.SPECNames()
+	if parsec {
+		all = workload.PARSECNames()
+	}
+	if *names == "" {
+		return all
+	}
+	var out []string
+	for _, n := range strings.Split(*names, ",") {
+		out = append(out, strings.TrimSpace(n))
+	}
+	return out
+}
+
+func header(cols []string) {
+	fmt.Printf("%-12s", "workload")
+	for _, c := range cols {
+		fmt.Printf("%8s", c)
+	}
+	fmt.Println()
+}
+
+// execTimeFigure prints Figure 4 (SPEC) or Figure 7 (PARSEC): per-workload
+// execution time under each defense normalized to Base, under TSO, plus
+// the RC-average row.
+func execTimeFigure(parsec bool) {
+	which := 4
+	suite := "SPEC"
+	if parsec {
+		which = 7
+		suite = "PARSEC"
+	}
+	fmt.Printf("Figure %d: normalized execution time, %s (higher is slower)\n\n", which, suite)
+	defs := config.AllDefenses()
+	cols := make([]string, len(defs))
+	for i, d := range defs {
+		cols[i] = d.String()
+	}
+	header(cols)
+
+	sums := map[config.Consistency]map[config.Defense]float64{
+		config.TSO: {}, config.RC: {},
+	}
+	ns := selectNames(parsec)
+	for _, name := range ns {
+		for _, cm := range []config.Consistency{config.TSO, config.RC} {
+			res, err := harness.Sweep(name, parsec, cm, *warmup, *measure)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtable:", err)
+				os.Exit(1)
+			}
+			norm := harness.NormalizedTime(res)
+			for _, d := range defs {
+				sums[cm][d] += norm[d]
+				csvRow(res[d])
+			}
+			if cm == config.TSO {
+				fmt.Printf("%-12s", name)
+				for _, d := range defs {
+					fmt.Printf("%8.2f", norm[d])
+				}
+				fmt.Println()
+			}
+		}
+	}
+	printAverages(defs, sums, float64(len(ns)))
+}
+
+// trafficFigure prints Figure 6 (SPEC) or Figure 8 (PARSEC): per-workload
+// network traffic normalized to Base, with the InvisiSpec columns split
+// into Spec-GetS and expose/validate shares.
+func trafficFigure(parsec bool) {
+	which := 6
+	suite := "SPEC"
+	if parsec {
+		which = 8
+		suite = "PARSEC"
+	}
+	fmt.Printf("Figure %d: normalized network traffic, %s\n", which, suite)
+	fmt.Printf("(spec%%/ve%% = share of the InvisiSpec config's bytes from Spec-GetS / expose+validate;\n")
+	fmt.Printf(" rows where the baseline moves almost no bytes — fully cache-resident kernels —\n")
+	fmt.Printf(" normalize against a floor of 1/16 B/instr and read as ~0)\n\n")
+	defs := config.AllDefenses()
+	cols := append([]string{}, "Base", "Fe-Sp", "IS-Sp", "spec%", "ve%", "Fe-Fu", "IS-Fu", "spec%", "ve%")
+	header(cols)
+
+	sums := map[config.Consistency]map[config.Defense]float64{
+		config.TSO: {}, config.RC: {},
+	}
+	ns := selectNames(parsec)
+	for _, name := range ns {
+		for _, cm := range []config.Consistency{config.TSO, config.RC} {
+			res, err := harness.Sweep(name, parsec, cm, *warmup, *measure)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtable:", err)
+				os.Exit(1)
+			}
+			norm := harness.NormalizedTraffic(res)
+			for _, d := range defs {
+				sums[cm][d] += norm[d]
+				csvRow(res[d])
+			}
+			if cm == config.TSO {
+				share := func(d config.Defense, tc stats.TrafficClass) float64 {
+					r := res[d]
+					if r.TotalTraffic() == 0 {
+						return 0
+					}
+					return 100 * float64(r.Traffic[tc]) / float64(r.TotalTraffic())
+				}
+				fmt.Printf("%-12s%8.2f%8.2f%8.2f%8.1f%8.1f%8.2f%8.2f%8.1f%8.1f\n",
+					name, norm[config.Base], norm[config.FenceSpectre],
+					norm[config.ISSpectre],
+					share(config.ISSpectre, stats.TrafficSpecLoad),
+					share(config.ISSpectre, stats.TrafficValExp),
+					norm[config.FenceFuture], norm[config.ISFuture],
+					share(config.ISFuture, stats.TrafficSpecLoad),
+					share(config.ISFuture, stats.TrafficValExp))
+			}
+		}
+	}
+	printAverages(defs, sums, float64(len(ns)))
+}
+
+func printAverages(defs []config.Defense, sums map[config.Consistency]map[config.Defense]float64, n float64) {
+	fmt.Printf("%-12s", "average")
+	for _, d := range defs {
+		fmt.Printf("%8.2f", sums[config.TSO][d]/n)
+	}
+	fmt.Println()
+	fmt.Printf("%-12s", "RC-average")
+	for _, d := range defs {
+		fmt.Printf("%8.2f", sums[config.RC][d]/n)
+	}
+	fmt.Println()
+}
+
+// table6 prints the InvisiSpec operation characterization (paper Table VI)
+// for IS-Sp and IS-Fu under TSO.
+func table6() {
+	fmt.Println("Table VI: characterization of InvisiSpec's operation under TSO")
+	fmt.Println("(Sp = IS-Spectre, Fu = IS-Future)")
+	fmt.Println()
+	fmt.Printf("%-14s %-6s %7s %7s %7s %9s %7s %7s %7s %7s %7s\n",
+		"workload", "cfg", "expo%", "valL1h%", "valL1m%", "sq/Minst",
+		"br%", "cons%", "vfail%", "SBhit%", "LLCSB%")
+	suites := []struct {
+		parsec bool
+		names  []string
+	}{
+		{false, selectNames(false)},
+		{true, selectNames(true)},
+	}
+	for _, s := range suites {
+		for _, name := range s.names {
+			for _, d := range []config.Defense{config.ISSpectre, config.ISFuture} {
+				var (
+					r   harness.Result
+					err error
+				)
+				if s.parsec {
+					r, err = harness.MeasurePARSEC(name, d, config.TSO, *warmup, *measure)
+				} else {
+					r, err = harness.MeasureSPEC(name, d, config.TSO, *warmup, *measure)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchtable:", err)
+					os.Exit(1)
+				}
+				csvRow(r)
+				printTable6Row(name, d, r)
+			}
+		}
+	}
+}
+
+func printTable6Row(name string, d config.Defense, r harness.Result) {
+	c := r.Core
+	cfg := "Sp"
+	if d == config.ISFuture {
+		cfg = "Fu"
+	}
+	ve := float64(c.Exposures + c.Validations())
+	if ve == 0 {
+		ve = 1
+	}
+	var squashes float64
+	for _, v := range c.Squashes {
+		squashes += float64(v)
+	}
+	if squashes == 0 {
+		squashes = 1
+	}
+	sbTotal := float64(c.SBReuseHits + c.SBReuseMisses)
+	if sbTotal == 0 {
+		sbTotal = 1
+	}
+	fmt.Printf("%-14s %-6s %7.1f %7.1f %7.1f %9.0f %7.1f %7.1f %7.1f %7.1f %7.1f\n",
+		name, cfg,
+		100*float64(c.Exposures)/ve,
+		100*float64(c.ValidationsL1Hit)/ve,
+		100*float64(c.ValidationsL1Miss)/ve,
+		c.SquashesPerMInst(),
+		100*float64(c.Squashes[stats.SquashBranch])/squashes,
+		100*float64(c.Squashes[stats.SquashConsistency]+c.Squashes[stats.SquashEarly])/squashes,
+		100*float64(c.Squashes[stats.SquashValidation])/squashes,
+		100*float64(c.SBReuseHits)/sbTotal,
+		100*r.LLCSBRate)
+}
+
+// table7 prints the hardware-overhead estimates (paper Table VII).
+func table7() {
+	m := config.Default(1)
+	fmt.Println("Table VII: per-core hardware overhead of InvisiSpec (16 nm)")
+	fmt.Println()
+	fmt.Printf("%-28s %10s %10s\n", "Metric", "L1-SB", "LLC-SB")
+	l1 := hwcost.L1SB(m).Estimate()
+	llc := hwcost.LLCSB(m).Estimate()
+	fmt.Printf("%-28s %10.4f %10.4f\n", "Area (mm^2)", l1.AreaMM2, llc.AreaMM2)
+	fmt.Printf("%-28s %10.1f %10.1f\n", "Access time (ps)", l1.AccessPS, llc.AccessPS)
+	fmt.Printf("%-28s %10.1f %10.1f\n", "Dynamic read energy (pJ)", l1.ReadPJ, llc.ReadPJ)
+	fmt.Printf("%-28s %10.1f %10.1f\n", "Dynamic write energy (pJ)", l1.WritePJ, llc.WritePJ)
+	fmt.Printf("%-28s %10.2f %10.2f\n", "Leakage power (mW)", l1.LeakMW, llc.LeakMW)
+}

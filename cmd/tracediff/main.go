@@ -1,0 +1,106 @@
+// Command tracediff records the committed-instruction stream of one
+// workload under two processor configurations and verifies they are
+// architecturally identical — the defenses must change timing, never
+// semantics. It can also persist traces for offline regression pinning.
+//
+//	tracediff -workload sjeng -a Base -b IS-Fu -n 20000
+//	tracediff -workload hmmer -a Base -record base.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"invisispec/internal/config"
+	"invisispec/internal/core"
+	"invisispec/internal/isa"
+	"invisispec/internal/sim"
+	"invisispec/internal/trace"
+	"invisispec/internal/workload"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "sjeng", "SPEC kernel name")
+		cfgA   = flag.String("a", "Base", "first configuration")
+		cfgB   = flag.String("b", "IS-Fu", "second configuration (ignored with -record)")
+		n      = flag.Uint64("n", 20000, "instructions to record")
+		record = flag.String("record", "", "write configuration A's trace to this file and exit")
+	)
+	flag.Parse()
+
+	prog, err := workload.SPEC(*name)
+	check(err)
+
+	a, err := recordTrace(*cfgA, prog, *n)
+	check(err)
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		check(err)
+		w, err := trace.NewWriter(f)
+		check(err)
+		for _, ev := range a {
+			w.Append(core.CommitEvent{
+				Cycle: ev.Cycle, PC: ev.PC, Inst: isa.Inst{Op: ev.Op},
+				WroteReg: ev.WroteReg, Reg: ev.Reg, RegValue: ev.RegValue,
+				Fault: ev.Fault,
+			})
+		}
+		check(w.Flush())
+		check(f.Close())
+		fmt.Printf("recorded %d commits of %s under %s to %s\n", len(a), *name, *cfgA, *record)
+		return
+	}
+
+	b, err := recordTrace(*cfgB, prog, *n)
+	check(err)
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	if i, why := trace.Diff(a[:m], b[:m]); i != -1 {
+		fmt.Printf("DIVERGENCE at commit %d: %s\n", i, why)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %s and %s commit identical architectural streams (%d instructions compared)\n",
+		*name, *cfgA, *cfgB, m)
+}
+
+func recordTrace(cfg string, prog *isa.Program, n uint64) ([]trace.Event, error) {
+	var d config.Defense
+	found := false
+	for _, c := range config.AllDefenses() {
+		if c.String() == cfg {
+			d, found = c, true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("unknown configuration %q", cfg)
+	}
+	run := config.Run{Machine: config.Default(1), Defense: d, Consistency: config.TSO}
+	m, err := sim.New(run, []*isa.Program{prog})
+	if err != nil {
+		return nil, err
+	}
+	var out []trace.Event
+	m.Cores[0].SetTracer(func(ev core.CommitEvent) {
+		out = append(out, trace.Event{
+			Cycle: ev.Cycle, PC: ev.PC, Op: ev.Inst.Op,
+			WroteReg: ev.WroteReg, Reg: ev.Reg, RegValue: ev.RegValue,
+			Fault: ev.Fault,
+		})
+	})
+	if err := m.RunInstructions(n, n*600); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(1)
+	}
+}

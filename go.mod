@@ -1,0 +1,3 @@
+module invisispec
+
+go 1.22

@@ -1,0 +1,186 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"invisispec/internal/isa"
+)
+
+func TestAlwaysTakenBranchLearns(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := 42
+	mispredicts := 0
+	for i := 0; i < 100; i++ {
+		snap := p.Snapshot()
+		pred := p.PredictCond(pc)
+		if !pred {
+			mispredicts++
+			p.Restore(snap)
+			p.FixupHistory(true)
+		}
+		p.TrainCond(pc, true, snap.ghr)
+	}
+	if mispredicts > 3 {
+		t.Fatalf("always-taken branch mispredicted %d/100 times", mispredicts)
+	}
+	// After warmup the prediction must be stable.
+	if !p.PredictCond(pc) {
+		t.Fatal("trained always-taken branch predicted not-taken")
+	}
+}
+
+func TestAlternatingBranchGlobalWins(t *testing.T) {
+	// A strict alternation is perfectly predictable from global history.
+	p := New(DefaultConfig())
+	pc := 7
+	late := 0
+	for i := 0; i < 400; i++ {
+		outcome := i%2 == 0
+		snap := p.Snapshot()
+		pred := p.PredictCond(pc)
+		if pred != outcome {
+			if i >= 200 {
+				late++
+			}
+			p.Restore(snap)
+			p.FixupHistory(outcome)
+		}
+		p.TrainCond(pc, outcome, snap.ghr)
+	}
+	if late > 10 {
+		t.Fatalf("alternating branch mispredicted %d/200 times after warmup", late)
+	}
+}
+
+func TestBTBMissThenHit(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.PredictIndirect(100); ok {
+		t.Fatal("cold BTB must miss")
+	}
+	p.TrainTarget(100, 555)
+	tgt, ok := p.PredictIndirect(100)
+	if !ok || tgt != 555 {
+		t.Fatalf("BTB predicted (%d,%v), want (555,true)", tgt, ok)
+	}
+	// An aliasing PC (same set) with a different tag must miss.
+	alias := 100 + DefaultConfig().BTBEntries
+	if _, ok := p.PredictIndirect(alias); ok {
+		t.Fatal("aliased BTB entry must not hit")
+	}
+}
+
+func TestRASLifo(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushRAS(10)
+	p.PushRAS(20)
+	p.PushRAS(30)
+	for _, want := range []int{30, 20, 10} {
+		if got := p.PopRAS(); got != want {
+			t.Fatalf("PopRAS = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASEntries = 4
+	p := New(cfg)
+	for i := 0; i < 6; i++ {
+		p.PushRAS(i)
+	}
+	// Entries 5,4,3,2 survive; older ones were overwritten.
+	for _, want := range []int{5, 4, 3, 2} {
+		if got := p.PopRAS(); got != want {
+			t.Fatalf("PopRAS = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushRAS(1)
+	p.PredictCond(5)
+	snap := p.Snapshot()
+	p.PushRAS(2)
+	p.PushRAS(3)
+	p.PredictCond(6)
+	p.PredictCond(7)
+	p.Restore(snap)
+	if got := p.PopRAS(); got != 1 {
+		t.Fatalf("restored RAS top = %d, want 1", got)
+	}
+	if p.ghr != snap.ghr {
+		t.Fatalf("restored ghr = %#x, want %#x", p.ghr, snap.ghr)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushRAS(1)
+	snap := p.Snapshot()
+	p.PushRAS(2) // mutate after snapshot
+	p.Restore(snap)
+	p.PushRAS(9)
+	if got := p.PopRAS(); got != 9 {
+		t.Fatalf("got %d, want 9", got)
+	}
+	if got := p.PopRAS(); got != 1 {
+		t.Fatalf("snapshot was aliased: got %d, want 1", got)
+	}
+}
+
+func TestPredictsFor(t *testing.T) {
+	cases := []struct {
+		op                        isa.Op
+		cond, indirect, call, ret bool
+	}{
+		{isa.OpBeq, true, false, false, false},
+		{isa.OpBge, true, false, false, false},
+		{isa.OpJmpI, false, true, false, false},
+		{isa.OpCall, false, false, true, false},
+		{isa.OpRet, false, false, false, true},
+		{isa.OpJmp, false, false, false, false},
+		{isa.OpAdd, false, false, false, false},
+	}
+	for _, c := range cases {
+		cond, ind, call, ret := PredictsFor(c.op)
+		if cond != c.cond || ind != c.indirect || call != c.call || ret != c.ret {
+			t.Errorf("PredictsFor(%v) = %v,%v,%v,%v", c.op, cond, ind, call, ret)
+		}
+	}
+}
+
+func TestRandomOutcomesMispredictHeavily(t *testing.T) {
+	// A predictor cannot learn a random sequence; misprediction rate should
+	// hover near 50%. This guards against accidental oracle behaviour.
+	p := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(7))
+	pc := 3
+	mis := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		outcome := rng.Intn(2) == 0
+		snap := p.Snapshot()
+		pred := p.PredictCond(pc)
+		if pred != outcome {
+			mis++
+			p.Restore(snap)
+			p.FixupHistory(outcome)
+		}
+		p.TrainCond(pc, outcome, snap.ghr)
+	}
+	rate := float64(mis) / n
+	if rate < 0.3 || rate > 0.7 {
+		t.Fatalf("random-branch misprediction rate %.2f outside [0.3,0.7]", rate)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero BTB did not panic")
+		}
+	}()
+	New(Config{LocalBits: 4, GlobalBits: 4, ChoiceBits: 4, BTBEntries: 0, RASEntries: 4})
+}

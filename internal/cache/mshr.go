@@ -1,0 +1,92 @@
+package cache
+
+// MSHR is one miss-status holding register: an outstanding miss on a line,
+// with the IDs of the requests coalesced onto it. Waiter IDs are opaque to
+// this package; the cache controller interprets them.
+type MSHR struct {
+	Valid   bool
+	LineNum uint64
+	// Issued marks that the miss request has been sent downstream.
+	Issued bool
+	// Waiters are the coalesced request tokens to wake when data returns.
+	Waiters []uint64
+}
+
+// MSHRFile is a small fully-associative file of MSHRs.
+type MSHRFile struct {
+	entries []MSHR
+}
+
+// NewMSHRFile returns a file with n entries.
+func NewMSHRFile(n int) *MSHRFile {
+	if n <= 0 {
+		panic("cache: MSHR file size must be positive")
+	}
+	return &MSHRFile{entries: make([]MSHR, n)}
+}
+
+// Lookup returns the MSHR tracking lineNum, or nil.
+func (f *MSHRFile) Lookup(lineNum uint64) *MSHR {
+	for i := range f.entries {
+		if f.entries[i].Valid && f.entries[i].LineNum == lineNum {
+			return &f.entries[i]
+		}
+	}
+	return nil
+}
+
+// Alloc claims a free MSHR for lineNum. It returns nil when the file is full
+// (the requester must retry later — structural hazard).
+func (f *MSHRFile) Alloc(lineNum uint64) *MSHR {
+	for i := range f.entries {
+		if !f.entries[i].Valid {
+			f.entries[i] = MSHR{Valid: true, LineNum: lineNum}
+			return &f.entries[i]
+		}
+	}
+	return nil
+}
+
+// Free releases the MSHR tracking lineNum and returns its waiters.
+func (f *MSHRFile) Free(lineNum uint64) []uint64 {
+	for i := range f.entries {
+		if f.entries[i].Valid && f.entries[i].LineNum == lineNum {
+			w := f.entries[i].Waiters
+			f.entries[i] = MSHR{}
+			return w
+		}
+	}
+	return nil
+}
+
+// InFlight returns the number of live entries.
+func (f *MSHRFile) InFlight() int {
+	n := 0
+	for i := range f.entries {
+		if f.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Full reports whether no entry is free.
+func (f *MSHRFile) Full() bool { return f.InFlight() == len(f.entries) }
+
+// DropWaiter removes a waiter token from whichever MSHR holds it (used when
+// the waiting request is squashed). The MSHR itself stays allocated: the
+// in-flight transaction still completes and installs the line.
+func (f *MSHRFile) DropWaiter(token uint64) {
+	for i := range f.entries {
+		e := &f.entries[i]
+		if !e.Valid {
+			continue
+		}
+		for j, w := range e.Waiters {
+			if w == token {
+				e.Waiters = append(e.Waiters[:j], e.Waiters[j+1:]...)
+				return
+			}
+		}
+	}
+}

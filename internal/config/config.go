@@ -1,0 +1,262 @@
+// Package config defines the simulated machine parameters (Table IV of the
+// paper) and the five processor configurations evaluated (Table V), plus the
+// memory consistency model selection and InvisiSpec feature toggles used by
+// the ablation benchmarks.
+package config
+
+import (
+	"fmt"
+
+	"invisispec/internal/bpred"
+)
+
+// Consistency selects the memory consistency model the core implements.
+type Consistency int
+
+// Consistency models evaluated in the paper.
+const (
+	TSO Consistency = iota // total store order (x86-like)
+	RC                     // release consistency
+)
+
+// String returns the model name.
+func (c Consistency) String() string {
+	switch c {
+	case TSO:
+		return "TSO"
+	case RC:
+		return "RC"
+	}
+	return fmt.Sprintf("Consistency(%d)", int(c))
+}
+
+// Defense selects the processor configuration (Table V).
+type Defense int
+
+// The five processor configurations of Table V.
+const (
+	Base         Defense = iota // conventional, insecure baseline
+	FenceSpectre                // fence after every indirect/conditional branch
+	ISSpectre                   // InvisiSpec-Spectre
+	FenceFuture                 // fence before every load
+	ISFuture                    // InvisiSpec-Future
+)
+
+// String returns the short name used in the paper's figures.
+func (d Defense) String() string {
+	switch d {
+	case Base:
+		return "Base"
+	case FenceSpectre:
+		return "Fe-Sp"
+	case ISSpectre:
+		return "IS-Sp"
+	case FenceFuture:
+		return "Fe-Fu"
+	case ISFuture:
+		return "IS-Fu"
+	}
+	return fmt.Sprintf("Defense(%d)", int(d))
+}
+
+// AllDefenses lists the configurations in figure order.
+func AllDefenses() []Defense {
+	return []Defense{Base, FenceSpectre, ISSpectre, FenceFuture, ISFuture}
+}
+
+// UsesInvisiSpec reports whether the configuration uses speculative buffers.
+func (d Defense) UsesInvisiSpec() bool { return d == ISSpectre || d == ISFuture }
+
+// UsesFences reports whether the configuration inserts defensive fences.
+func (d Defense) UsesFences() bool { return d == FenceSpectre || d == FenceFuture }
+
+// CacheParams sizes one cache level.
+type CacheParams struct {
+	SizeBytes int
+	Ways      int
+	// LatencyRT is the round-trip hit latency in cycles.
+	LatencyRT int
+	Ports     int // accesses accepted per cycle
+	MSHRs     int
+}
+
+// Sets returns the number of sets given the machine line size.
+func (p CacheParams) Sets(lineSize int) int {
+	return p.SizeBytes / (p.Ways * lineSize)
+}
+
+// Machine holds every structural parameter of the simulated system.
+type Machine struct {
+	Name     string
+	Cores    int
+	ClockGHz float64
+
+	// Core (8-issue OoO per Table IV).
+	FetchWidth  int
+	IssueWidth  int
+	RetireWidth int
+	ROBEntries  int
+	LQEntries   int
+	SQEntries   int
+	WBEntries   int // write buffer depth
+	IntALUs     int
+	MulDivUnits int
+	// RedirectPenalty is the front-end refill bubble after a squash
+	// (approximates the paper's deeper fetch pipeline).
+	RedirectPenalty int
+	Bpred           bpred.Config
+
+	// Memory structure.
+	LineSize int
+	L1I      CacheParams
+	L1D      CacheParams
+	// L2 is the shared, inclusive LLC; one bank per core.
+	L2            CacheParams
+	L2LocalRT     int // round-trip latency to the local bank
+	DRAMLatency   int // cycles after the L2 (50 ns at 2 GHz = 100)
+	DRAMBandwidth int // bytes per cycle per channel
+
+	// NoC: MeshW x MeshH mesh, 128-bit links, 1 cycle per hop.
+	MeshW        int
+	MeshH        int
+	LinkBytes    int // bytes transferred per link per cycle
+	HopLatency   int
+	CtrlMsgBytes int // size of a control message on the NoC
+	DataMsgBytes int // size of a data-carrying message (ctrl + line)
+
+	// Hardware prefetcher: a confidence-ramped stream prefetcher at the
+	// L1D (tagged re-arm, max distance PrefetchDegree). The paper's Table
+	// IV machine has none (default false); when enabled, InvisiSpec gates
+	// it on visibility (§VI-B): Spec-GetS accesses never train or trigger
+	// it; demand misses, validations and exposures do.
+	HWPrefetch     bool
+	PrefetchDegree int
+
+	// TLB.
+	TLBEntries      int
+	PageWalkLatency int
+
+	// Execution latencies.
+	LatALU, LatMul, LatDiv int
+
+	// Interrupts: if > 0, a timer interrupt fires every this many cycles
+	// (squashing the pipeline). Models the "interrupts" squash source.
+	InterruptInterval int
+
+	// InvisiSpec feature toggles (all true for the paper's design; the
+	// ablation benches flip them individually).
+	LLCSBEnabled  bool // per-core LLC speculative buffer (§V-F)
+	VToETransform bool // validation-to-exposure transform (§V-C1)
+	EarlySquash   bool // squash V-state USLs on invalidation (§V-C2)
+	SBReuse       bool // reuse SB lines across USLs (§V-E)
+	OverlapValExp bool // overlap rules of §V-D (false = fully serialized)
+	DelayTLBMiss  bool // delay D-TLB miss service to visibility (§VI-E3)
+	// TrustSafeAnnotations implements the paper's §XI future-work
+	// optimization: loads statically proven safe (isa.Inst.Safe) bypass
+	// the USL machinery entirely. Off by default — it extends the trusted
+	// computing base to whatever produced the proofs.
+	TrustSafeAnnotations bool
+	// ProtectICache implements the extension sketched in the paper's
+	// footnote 2: speculative instruction fetches read through an
+	// invisible path (no L1I/LLC install, no replacement update) and a
+	// line only becomes visible — is installed — once an instruction from
+	// it retires. Off by default (the paper scopes it out "for
+	// simplicity").
+	ProtectICache bool
+}
+
+// Default returns the Table IV machine for n cores (1 for SPEC runs, 8 for
+// PARSEC runs).
+func Default(n int) Machine {
+	return Machine{
+		Name:            fmt.Sprintf("%d-core Table IV machine", n),
+		Cores:           n,
+		ClockGHz:        2.0,
+		FetchWidth:      8,
+		IssueWidth:      8,
+		RetireWidth:     8,
+		ROBEntries:      192,
+		LQEntries:       32,
+		SQEntries:       32,
+		WBEntries:       32,
+		IntALUs:         6,
+		MulDivUnits:     2,
+		RedirectPenalty: 6,
+		Bpred:           bpred.DefaultConfig(),
+
+		LineSize: 64,
+		L1I:      CacheParams{SizeBytes: 32 << 10, Ways: 4, LatencyRT: 1, Ports: 1, MSHRs: 8},
+		L1D:      CacheParams{SizeBytes: 64 << 10, Ways: 8, LatencyRT: 1, Ports: 3, MSHRs: 32},
+		L2:       CacheParams{SizeBytes: 2 << 20, Ways: 16, LatencyRT: 8, Ports: 1, MSHRs: 32},
+
+		L2LocalRT:     8,
+		DRAMLatency:   100, // 50 ns at 2 GHz
+		DRAMBandwidth: 16,
+
+		MeshW:        4,
+		MeshH:        2,
+		LinkBytes:    16, // 128-bit links
+		HopLatency:   1,
+		CtrlMsgBytes: 8,
+		DataMsgBytes: 72, // 8B header + 64B line
+
+		HWPrefetch:     false, // Table IV lists none; see the ablation bench
+		PrefetchDegree: 16,
+
+		TLBEntries:      64,
+		PageWalkLatency: 40,
+
+		LatALU: 1,
+		LatMul: 3,
+		LatDiv: 12,
+
+		LLCSBEnabled:  true,
+		VToETransform: true,
+		EarlySquash:   true,
+		SBReuse:       true,
+		OverlapValExp: true,
+		DelayTLBMiss:  true,
+	}
+}
+
+// Validate checks structural consistency and returns a descriptive error for
+// the first problem found.
+func (m Machine) Validate() error {
+	switch {
+	case m.Cores <= 0:
+		return fmt.Errorf("config: Cores = %d, must be positive", m.Cores)
+	case m.Cores > m.MeshW*m.MeshH:
+		return fmt.Errorf("config: %d cores exceed %dx%d mesh", m.Cores, m.MeshW, m.MeshH)
+	case m.LineSize <= 0 || m.LineSize&(m.LineSize-1) != 0:
+		return fmt.Errorf("config: LineSize %d must be a power of two", m.LineSize)
+	case m.ROBEntries <= 0 || m.LQEntries <= 0 || m.SQEntries <= 0:
+		return fmt.Errorf("config: queue sizes must be positive")
+	case m.LQEntries > m.ROBEntries || m.SQEntries > m.ROBEntries:
+		return fmt.Errorf("config: LQ/SQ cannot exceed ROB")
+	}
+	for _, c := range []struct {
+		name string
+		p    CacheParams
+	}{{"L1I", m.L1I}, {"L1D", m.L1D}, {"L2", m.L2}} {
+		sets := c.p.Sets(m.LineSize)
+		if sets <= 0 || sets&(sets-1) != 0 {
+			return fmt.Errorf("config: %s has %d sets, must be a positive power of two", c.name, sets)
+		}
+		if c.p.MSHRs <= 0 || c.p.Ports <= 0 {
+			return fmt.Errorf("config: %s needs positive MSHRs and ports", c.name)
+		}
+	}
+	return nil
+}
+
+// Run couples a machine with the defense and consistency model under test.
+type Run struct {
+	Machine     Machine
+	Defense     Defense
+	Consistency Consistency
+}
+
+// String names the run the way the paper labels its bars.
+func (r Run) String() string {
+	return fmt.Sprintf("%s/%s", r.Defense, r.Consistency)
+}

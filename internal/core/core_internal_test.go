@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"invisispec/internal/config"
+	"invisispec/internal/isa"
+	"invisispec/internal/memsys"
+	"invisispec/internal/stats"
+)
+
+func TestOverlapsAndContains(t *testing.T) {
+	cases := []struct {
+		a1   uint64
+		s1   uint8
+		a2   uint64
+		s2   uint8
+		over bool
+		cont bool
+	}{
+		{0, 8, 0, 8, true, true},
+		{0, 8, 4, 4, true, true},
+		{0, 8, 4, 8, true, false},
+		{0, 8, 8, 8, false, false},
+		{8, 8, 0, 8, false, false},
+		{0, 4, 2, 1, true, true},
+		{2, 1, 0, 4, true, false},
+		{100, 2, 101, 1, true, true},
+	}
+	for _, c := range cases {
+		if got := overlaps(c.a1, c.s1, c.a2, c.s2); got != c.over {
+			t.Errorf("overlaps(%d,%d,%d,%d) = %v", c.a1, c.s1, c.a2, c.s2, got)
+		}
+		if got := contains(c.a1, c.s1, c.a2, c.s2); got != c.cont {
+			t.Errorf("contains(%d,%d,%d,%d) = %v", c.a1, c.s1, c.a2, c.s2, got)
+		}
+	}
+}
+
+func TestOverlapContainQuickProperties(t *testing.T) {
+	f := func(a1, a2 uint16, s1Sel, s2Sel uint8) bool {
+		sizes := []uint8{1, 2, 4, 8}
+		s1 := sizes[s1Sel%4]
+		s2 := sizes[s2Sel%4]
+		A1, A2 := uint64(a1), uint64(a2)
+		over := overlaps(A1, s1, A2, s2)
+		cont := contains(A1, s1, A2, s2)
+		// Containment implies overlap.
+		if cont && !over {
+			return false
+		}
+		// Overlap is symmetric.
+		if over != overlaps(A2, s2, A1, s1) {
+			return false
+		}
+		// Reference check against explicit byte sets.
+		ref := false
+		for b := A2; b < A2+uint64(s2); b++ {
+			if b >= A1 && b < A1+uint64(s1) {
+				ref = true
+			}
+		}
+		return over == ref
+	}
+	cfg := &quick.Config{MaxCount: 3000, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestCore(t *testing.T, d config.Defense) *Core {
+	t.Helper()
+	run := config.Run{Machine: config.Default(1), Defense: d, Consistency: config.TSO}
+	st := stats.NewMachine(1)
+	prog := isa.NewBuilder("t").Nop().Halt().MustBuild()
+	mem := isa.NewMemory()
+	hier := memsys.New(run.Machine, st)
+	return New(0, run, prog, mem, hier, &st.Cores[0])
+}
+
+func TestRobIndexMathWrapsCorrectly(t *testing.T) {
+	c := newTestCore(t, config.Base)
+	c.robHead = len(c.rob) - 2
+	c.robCnt = 5
+	for i := 0; i < c.robCnt; i++ {
+		phys := c.robPhys(i)
+		if got := c.robLogical(phys); got != i {
+			t.Fatalf("robLogical(robPhys(%d)) = %d", i, got)
+		}
+	}
+	if c.robPhys(2) != 0 {
+		t.Fatalf("expected wrap: robPhys(2) = %d", c.robPhys(2))
+	}
+}
+
+func TestSquashRebuildsRAT(t *testing.T) {
+	c := newTestCore(t, config.Base)
+	// Dispatch three producers of r5 by hand.
+	for i := 0; i < 3; i++ {
+		c.insertEntry(fetchedInst{pc: i, inst: isa.Inst{Op: isa.OpLui, Rd: 5, Imm: int64(i)}})
+	}
+	if c.rat[5] != c.robPhys(2) {
+		t.Fatalf("RAT points at %d, want youngest producer %d", c.rat[5], c.robPhys(2))
+	}
+	// Squash the youngest: RAT must fall back to the middle producer.
+	c.squashFromLogical(2, stats.SquashBranch, 0, false)
+	if c.rat[5] != c.robPhys(1) {
+		t.Fatalf("RAT after squash points at %d, want %d", c.rat[5], c.robPhys(1))
+	}
+	// Squash everything: RAT must clear.
+	c.squashFromLogical(0, stats.SquashBranch, 0, false)
+	if c.rat[5] != -1 {
+		t.Fatalf("RAT after full squash = %d, want -1", c.rat[5])
+	}
+	if c.robCnt != 0 {
+		t.Fatalf("robCnt = %d", c.robCnt)
+	}
+}
+
+func TestSquashFreesLSQEntries(t *testing.T) {
+	c := newTestCore(t, config.Base)
+	c.insertEntry(fetchedInst{pc: 0, inst: isa.Inst{Op: isa.OpLoad, Rd: 1, Rs1: 2, Size: 8}})
+	c.insertEntry(fetchedInst{pc: 1, inst: isa.Inst{Op: isa.OpStore, Rs1: 2, Rs2: 3, Size: 8}})
+	c.insertEntry(fetchedInst{pc: 2, inst: isa.Inst{Op: isa.OpLoad, Rd: 4, Rs1: 2, Size: 8}})
+	if c.lqCnt != 2 || c.sqCnt != 1 {
+		t.Fatalf("lq=%d sq=%d", c.lqCnt, c.sqCnt)
+	}
+	c.squashFromLogical(1, stats.SquashBranch, 0, false)
+	if c.lqCnt != 1 || c.sqCnt != 0 {
+		t.Fatalf("after squash lq=%d sq=%d, want 1/0", c.lqCnt, c.sqCnt)
+	}
+	c.squashFromLogical(0, stats.SquashBranch, 0, false)
+	if c.lqCnt != 0 {
+		t.Fatalf("after full squash lq=%d", c.lqCnt)
+	}
+}
+
+func TestSquashBumpsEpoch(t *testing.T) {
+	c := newTestCore(t, config.ISFuture)
+	e0 := c.epoch
+	c.squashFromLogical(0, stats.SquashInterrupt, 0, false)
+	if c.epoch != e0+1 {
+		t.Fatalf("epoch %d, want %d", c.epoch, e0+1)
+	}
+}
+
+func TestSBMatchesMemoryMaskSemantics(t *testing.T) {
+	c := newTestCore(t, config.ISFuture)
+	e := &lqEntry{addr: 0x1000, size: 4}
+	// Load consumed bytes 0..3; byte 1 came from store forwarding.
+	e.readMask = 0b1111
+	e.fwdMask = 0b0010
+	e.sbData[0] = 0xAA
+	e.sbData[1] = 0xFF // forwarded: memory may differ
+	e.sbData[2] = 0xCC
+	e.sbData[3] = 0xDD
+	c.mem.SetBytes(0x1000, []byte{0xAA, 0x00, 0xCC, 0xDD})
+	if !c.sbMatchesMemory(e) {
+		t.Fatal("forwarded byte must be excluded from validation")
+	}
+	c.mem.SetByte(0x1002, 0x99)
+	if c.sbMatchesMemory(e) {
+		t.Fatal("memory change in a consumed byte must fail validation")
+	}
+	c.mem.SetByte(0x1002, 0xCC)
+	c.mem.SetByte(0x1010, 0x42) // outside the mask: irrelevant
+	if !c.sbMatchesMemory(e) {
+		t.Fatal("bytes outside the read mask must not matter")
+	}
+}
+
+func TestLoadValueExtraction(t *testing.T) {
+	e := &lqEntry{addr: 0x1008 + 3, size: 4}
+	for i := range e.sbData {
+		e.sbData[i] = byte(i)
+	}
+	// Line base is 0x1000; offset is 11.
+	want := uint64(11) | 12<<8 | 13<<16 | 14<<24
+	if got := e.loadValue(); got != want {
+		t.Fatalf("loadValue = %#x, want %#x", got, want)
+	}
+}
+
+func TestFenceLikeClassification(t *testing.T) {
+	for _, tc := range []struct {
+		op   isa.Op
+		want bool
+	}{
+		{isa.OpFence, true}, {isa.OpAcquire, true}, {isa.OpRelease, true},
+		{isa.OpRMW, false}, {isa.OpAdd, false}, {isa.OpLoad, false},
+	} {
+		e := &robEntry{inst: isa.Inst{Op: tc.op}}
+		if got := isFenceLike(e); got != tc.want {
+			t.Errorf("isFenceLike(%v) = %v", tc.op, got)
+		}
+	}
+}

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"invisispec/internal/bpred"
+	"invisispec/internal/config"
+	"invisispec/internal/isa"
+	"invisispec/internal/stats"
+)
+
+// stage tracks a ROB entry's progress.
+type stage uint8
+
+const (
+	stDispatched stage = iota // waiting for operands / issue slot
+	stExecuting               // in a functional unit (or address generation)
+	stWaitMem                 // address generated; waiting on the memory system
+	stCompleted               // result available (loads: performed)
+)
+
+const noDep = -1
+
+// robEntry is one in-flight dynamic instruction.
+type robEntry struct {
+	valid     bool
+	seq       uint64
+	pc        int
+	inst      isa.Inst
+	synthetic bool // defense fence injected at decode (Table V)
+	st        stage
+
+	execDoneAt uint64
+
+	// Operand capture: srcNRob is the producing ROB slot or noDep when the
+	// value is already in srcNVal.
+	src1Rob int
+	src2Rob int
+	src1Val uint64
+	src2Val uint64
+	destVal uint64
+
+	// Control flow.
+	predTaken    bool
+	predTarget   int
+	hasSnap      bool
+	snap         bpred.State
+	resolved     bool
+	actualTaken  bool
+	actualTarget int
+	mispredicted bool
+
+	// Memory.
+	lqIdx int // physical LQ slot or -1
+	sqIdx int // physical SQ slot or -1
+
+	// RMW progress.
+	rmwIssued bool
+
+	// Fence-like ops.
+	fenceDone bool
+}
+
+func needsSrc1(op isa.Op) bool {
+	switch op {
+	case isa.OpNop, isa.OpLui, isa.OpJmp, isa.OpCall, isa.OpFence,
+		isa.OpAcquire, isa.OpRelease, isa.OpHalt:
+		return false
+	}
+	return true
+}
+
+func needsSrc2(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl,
+		isa.OpShr, isa.OpMul, isa.OpDiv, isa.OpSlt,
+		isa.OpStore, isa.OpRMW,
+		isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		return true
+	}
+	return false
+}
+
+// robAt returns the entry at logical position i (0 = oldest).
+func (c *Core) robAt(i int) *robEntry {
+	return &c.rob[(c.robHead+i)%len(c.rob)]
+}
+
+// robPhys returns the physical index of logical position i.
+func (c *Core) robPhys(i int) int { return (c.robHead + i) % len(c.rob) }
+
+// robLogical returns the logical position of a physical slot (O(ROB)).
+func (c *Core) robLogical(phys int) int {
+	l := phys - c.robHead
+	if l < 0 {
+		l += len(c.rob)
+	}
+	return l
+}
+
+// dispatch renames and inserts instructions from the fetch buffer into the
+// ROB (and LQ/SQ), injecting defense fences per the configuration.
+func (c *Core) dispatch() {
+	width := c.cfg.FetchWidth
+	for n := 0; n < width && len(c.fetchBuf) > 0; n++ {
+		if c.haltSeen {
+			return
+		}
+		fi := c.fetchBuf[0]
+		op := fi.inst.Op
+		// Defense fences occupy an extra ROB slot (Table V).
+		fenceBefore := c.run.Defense == config.FenceFuture && op == isa.OpLoad
+		fenceAfter := c.run.Defense == config.FenceSpectre && isBranchNeedingFence(op)
+		slots := 1
+		if fenceBefore || fenceAfter {
+			slots = 2
+		}
+		if c.robCnt+slots > len(c.rob) {
+			return
+		}
+		needsLQ := op == isa.OpLoad || op == isa.OpPrefetch
+		needsSQ := op == isa.OpStore
+		if needsLQ && c.lqCnt >= len(c.lq) {
+			return
+		}
+		if needsSQ && c.sqCnt >= len(c.sq) {
+			return
+		}
+		if fenceBefore {
+			c.insertEntry(fetchedInst{pc: fi.pc, inst: isa.Inst{Op: isa.OpFence}, synthetic: true})
+			n++
+		}
+		c.fetchBuf = c.fetchBuf[1:]
+		c.insertEntry(fi)
+		if op == isa.OpHalt {
+			// Halts serialize the front end: nothing beyond a halt is
+			// dispatched (it would execute speculatively past the end of
+			// the program, polluting the caches).
+			c.haltSeen = true
+			c.fetchBuf = c.fetchBuf[:0]
+			return
+		}
+		if fenceAfter {
+			c.insertEntry(fetchedInst{pc: fi.pc, inst: isa.Inst{Op: isa.OpFence}, synthetic: true})
+			n++
+		}
+	}
+}
+
+func isBranchNeedingFence(op isa.Op) bool {
+	return op.IsCondBranch() || op == isa.OpJmpI || op == isa.OpRet
+}
+
+// insertEntry allocates and renames one ROB entry. Callers have verified
+// space. A synthetic fetchedInst (defense fence) consumes no fetch-buffer
+// slot.
+func (c *Core) insertEntry(fi fetchedInst) {
+	phys := c.robPhys(c.robCnt)
+	c.robCnt++
+	e := &c.rob[phys]
+	c.nextToken++
+	*e = robEntry{
+		valid:      true,
+		seq:        c.nextToken,
+		pc:         fi.pc,
+		inst:       fi.inst,
+		synthetic:  fi.synthetic,
+		st:         stDispatched,
+		src1Rob:    noDep,
+		src2Rob:    noDep,
+		predTaken:  fi.predTaken,
+		predTarget: fi.predTarget,
+		hasSnap:    fi.hasSnap,
+		snap:       fi.snap,
+		lqIdx:      -1,
+		sqIdx:      -1,
+	}
+	op := fi.inst.Op
+	if needsSrc1(op) {
+		if p := c.rat[fi.inst.Rs1]; p >= 0 {
+			e.src1Rob = p
+		} else {
+			e.src1Val = c.regs[fi.inst.Rs1]
+		}
+	}
+	if needsSrc2(op) {
+		if p := c.rat[fi.inst.Rs2]; p >= 0 {
+			e.src2Rob = p
+		} else {
+			e.src2Val = c.regs[fi.inst.Rs2]
+		}
+	}
+	if op.HasDest() {
+		c.rat[fi.inst.Rd] = phys
+	}
+	switch {
+	case op == isa.OpLoad || op == isa.OpPrefetch:
+		e.lqIdx = c.allocLQ(e.seq, phys, fi.inst)
+	case op == isa.OpStore:
+		e.sqIdx = c.allocSQ(e.seq, phys, fi.inst)
+	case op == isa.OpNop || op == isa.OpHalt:
+		e.st = stCompleted
+	case op == isa.OpAcquire || op == isa.OpRelease:
+		if c.run.Consistency == config.TSO {
+			// TSO already provides acquire/release ordering.
+			e.st = stCompleted
+			e.fenceDone = true
+		}
+	}
+}
+
+// srcReady pulls a source operand if its producer has completed, and reports
+// whether the operand is available.
+func (c *Core) srcReady(rob *int, val *uint64) bool {
+	if *rob == noDep {
+		return true
+	}
+	p := &c.rob[*rob]
+	if p.st != stCompleted {
+		return false
+	}
+	*val = p.destVal
+	*rob = noDep
+	return true
+}
+
+func (c *Core) operandsReady(e *robEntry) bool {
+	r1 := c.srcReady(&e.src1Rob, &e.src1Val)
+	r2 := c.srcReady(&e.src2Rob, &e.src2Val)
+	return r1 && r2
+}
+
+// issue selects up to IssueWidth ready instructions, oldest first, honouring
+// functional-unit counts and fence blocking.
+func (c *Core) issue() {
+	slots := c.cfg.IssueWidth
+	alus := c.cfg.IntALUs
+	muldivs := c.cfg.MulDivUnits
+	agus := c.cfg.L1D.Ports
+	blockedAll := false // incomplete synthetic (defense) fence seen
+	blockedMem := false // incomplete memory fence / acquire seen
+	for i := 0; i < c.robCnt && slots > 0; i++ {
+		e := c.robAt(i)
+		op := e.inst.Op
+		if e.st == stDispatched {
+			if blockedAll {
+				continue
+			}
+			if blockedMem && (op.IsMem() || op == isa.OpFence) {
+				continue
+			}
+			if !c.operandsReady(e) {
+				goto trackFences
+			}
+			switch {
+			case op == isa.OpCycle:
+				if alus == 0 {
+					goto trackFences
+				}
+				alus--
+				e.st = stExecuting
+				e.execDoneAt = c.now + 1
+			case op == isa.OpMul:
+				if muldivs == 0 {
+					goto trackFences
+				}
+				muldivs--
+				e.st = stExecuting
+				e.execDoneAt = c.now + uint64(c.cfg.LatMul)
+			case op == isa.OpDiv:
+				if muldivs == 0 {
+					goto trackFences
+				}
+				muldivs--
+				e.st = stExecuting
+				e.execDoneAt = c.now + uint64(c.cfg.LatDiv)
+			case op.IsALU():
+				if alus == 0 {
+					goto trackFences
+				}
+				alus--
+				e.st = stExecuting
+				e.execDoneAt = c.now + uint64(c.cfg.LatALU)
+			case op.IsBranch():
+				if alus == 0 {
+					goto trackFences
+				}
+				alus--
+				e.st = stExecuting
+				e.execDoneAt = c.now + 1
+			case op.IsMem():
+				// Address generation.
+				if agus == 0 {
+					goto trackFences
+				}
+				agus--
+				e.st = stExecuting
+				e.execDoneAt = c.now + 1
+			case op == isa.OpFence || op == isa.OpAcquire || op == isa.OpRelease:
+				// Fences occupy no FU; completion is tracked separately.
+				e.st = stWaitMem
+			default:
+				e.st = stCompleted
+			}
+			slots--
+		}
+	trackFences:
+		if isFenceLike(e) && !e.fenceDone {
+			if e.synthetic {
+				blockedAll = true
+			} else if op == isa.OpFence || op == isa.OpAcquire {
+				blockedMem = true
+			}
+		}
+		// An incomplete atomic blocks younger memory operations: it has
+		// fence semantics, and younger loads have no forwarding path from
+		// it, so letting them read around it would break program order.
+		if op == isa.OpRMW && e.st != stCompleted {
+			blockedMem = true
+		}
+	}
+}
+
+func isFenceLike(e *robEntry) bool {
+	switch e.inst.Op {
+	case isa.OpFence, isa.OpAcquire, isa.OpRelease:
+		return true
+	}
+	return false
+}
+
+// completeExec moves instructions whose functional-unit latency has elapsed
+// into the completed state, resolving branches and store addresses.
+func (c *Core) completeExec() {
+	for i := 0; i < c.robCnt; i++ {
+		e := c.robAt(i)
+		if e.st != stExecuting || e.execDoneAt > c.now {
+			continue
+		}
+		op := e.inst.Op
+		switch {
+		case op == isa.OpCycle:
+			e.destVal = c.now
+			e.st = stCompleted
+		case op.IsALU():
+			e.destVal = isa.EvalALU(op, e.src1Val, e.src2Val, e.inst.Imm)
+			e.st = stCompleted
+		case op.IsBranch():
+			if c.resolveBranch(i, e) {
+				return // squash invalidated the scan
+			}
+		case op == isa.OpLoad || op == isa.OpPrefetch:
+			lq := &c.lq[e.lqIdx]
+			lq.addr = e.src1Val + uint64(e.inst.Imm)
+			lq.addrReady = true
+			e.st = stWaitMem
+		case op == isa.OpStore:
+			sq := &c.sq[e.sqIdx]
+			sq.addr = e.src1Val + uint64(e.inst.Imm)
+			sq.addrReady = true
+			sq.data = e.src2Val
+			sq.dataReady = true
+			e.st = stCompleted
+			if c.storeAliasSquash(i, sq) {
+				return
+			}
+		case op == isa.OpRMW, op == isa.OpFlush:
+			e.st = stWaitMem // waits for ROB head; memStep issues it
+		default:
+			e.st = stCompleted
+		}
+	}
+}
+
+// resolveBranch compares outcome with prediction, squashing on a
+// misprediction. It reports whether a squash happened.
+func (c *Core) resolveBranch(logical int, e *robEntry) bool {
+	op := e.inst.Op
+	e.resolved = true
+	var next int
+	switch {
+	case op.IsCondBranch():
+		e.actualTaken = isa.BranchTaken(op, e.src1Val, e.src2Val)
+		e.actualTarget = e.inst.Target
+		if e.actualTaken {
+			next = e.inst.Target
+		} else {
+			next = e.pc + 1
+		}
+	case op == isa.OpJmp:
+		e.actualTaken, e.actualTarget = true, e.inst.Target
+		next = e.inst.Target
+	case op == isa.OpCall:
+		e.actualTaken, e.actualTarget = true, e.inst.Target
+		e.destVal = uint64(e.pc + 1)
+		next = e.inst.Target
+	case op == isa.OpJmpI, op == isa.OpRet:
+		e.actualTaken = true
+		e.actualTarget = int(e.src1Val)
+		next = e.actualTarget
+		if op == isa.OpJmpI {
+			c.bp.TrainTarget(e.pc, e.actualTarget)
+		}
+	}
+	e.st = stCompleted
+
+	if c.fetchStalled && c.isYoungestControl(logical) {
+		// Fetch was stalled on this branch's unknown target (BTB miss):
+		// resume down the resolved path; nothing younger was fetched.
+		c.fetchStalled = false
+		c.pc = next
+		return false
+	}
+
+	mispredict := false
+	if op.IsCondBranch() {
+		mispredict = e.actualTaken != e.predTaken
+	} else if op == isa.OpJmpI || op == isa.OpRet {
+		mispredict = e.actualTarget != e.predTarget
+	}
+	if !mispredict {
+		return false
+	}
+	e.mispredicted = true
+	c.bp.NoteMisprediction()
+	c.st.Mispredicts++
+	c.bp.Restore(e.snap)
+	if op.IsCondBranch() {
+		c.bp.FixupHistory(e.actualTaken)
+	} else if op == isa.OpRet {
+		// The snapshot re-pushed the consumed RAS entry; the return did
+		// architecturally consume it.
+		c.bp.PopRAS()
+	}
+	c.squashFromLogical(logical+1, stats.SquashBranch, next, false)
+	return true
+}
+
+// isYoungestControl reports whether no control-flow instruction younger than
+// logical position i exists (used for BTB-miss fetch stalls, where the
+// stalled branch is by construction the youngest).
+func (c *Core) isYoungestControl(i int) bool {
+	for j := i + 1; j < c.robCnt; j++ {
+		if c.robAt(j).inst.Op.IsBranch() {
+			return false
+		}
+	}
+	return true
+}
+
+// updateFenceCompletion advances fence-like instructions. A defense
+// (synthetic) fence completes when every older instruction has completed; a
+// full fence additionally requires all older stores to have performed (no
+// older store in the ROB and an empty write buffer); an acquire requires all
+// older loads performed; a release requires older loads performed and older
+// stores performed.
+func (c *Core) updateFenceCompletion() {
+	allOlderDone := true
+	olderLoadsPerformed := true
+	olderStorePresent := false
+	for i := 0; i < c.robCnt; i++ {
+		e := c.robAt(i)
+		op := e.inst.Op
+		if isFenceLike(e) && !e.fenceDone {
+			done := false
+			switch {
+			case e.synthetic:
+				done = allOlderDone
+			case op == isa.OpFence:
+				done = allOlderDone && !olderStorePresent && len(c.wb) == 0
+			case op == isa.OpAcquire:
+				done = olderLoadsPerformed
+			case op == isa.OpRelease:
+				done = olderLoadsPerformed && !olderStorePresent && len(c.wb) == 0
+			}
+			if done {
+				e.fenceDone = true
+				e.st = stCompleted
+			}
+		}
+		if e.st != stCompleted {
+			allOlderDone = false
+		}
+		if op == isa.OpLoad {
+			if e.lqIdx >= 0 && !c.lq[e.lqIdx].performed {
+				olderLoadsPerformed = false
+				allOlderDone = false
+			}
+		}
+		if op == isa.OpStore {
+			olderStorePresent = true
+		}
+		if isFenceLike(e) && !e.fenceDone {
+			allOlderDone = false
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import "invisispec/internal/isa"
+
+// CommitEvent describes one architecturally retired instruction.
+type CommitEvent struct {
+	Cycle uint64
+	Seq   uint64 // per-core retirement index (0, 1, 2, ...)
+	PC    int
+	Inst  isa.Inst
+	// WroteReg/RegValue capture the architectural register write, if any.
+	WroteReg bool
+	Reg      uint8
+	RegValue uint64
+	// Fault marks an instruction that retired by raising an exception.
+	Fault bool
+}
+
+// Tracer consumes the committed-instruction stream of one core, in order.
+// Attach one with SetTracer; it observes exactly the architectural
+// execution (squashed wrong-path work never appears), which makes it both a
+// debugging artifact (cmd/invisisim -trace) and a correctness oracle: the
+// stream must equal the functional interpreter's execution.
+type Tracer func(CommitEvent)
+
+// SetTracer installs (or, with nil, removes) the core's commit tracer.
+func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+
+func (c *Core) emitCommit(e *robEntry, fault bool) {
+	if c.tracer == nil || e.synthetic {
+		return
+	}
+	ev := CommitEvent{
+		Cycle: c.now,
+		Seq:   c.commitSeq,
+		PC:    e.pc,
+		Inst:  e.inst,
+		Fault: fault,
+	}
+	if !fault && e.inst.Op.HasDest() {
+		ev.WroteReg = true
+		ev.Reg = e.inst.Rd
+		ev.RegValue = e.destVal
+	}
+	c.commitSeq++
+	c.tracer(ev)
+}

@@ -1,0 +1,50 @@
+// Package dram models main memory as a fixed-latency, bandwidth-limited
+// channel: 50 ns round trip after the L2 (100 cycles at 2 GHz) plus
+// serialization at the channel's bytes-per-cycle rate.
+package dram
+
+import "fmt"
+
+// DRAM is one memory channel.
+type DRAM struct {
+	latency   uint64
+	bandwidth int // bytes per cycle
+	chanFree  uint64
+
+	Reads  uint64
+	Writes uint64
+}
+
+// New builds a channel with the given access latency (cycles) and bandwidth
+// (bytes/cycle).
+func New(latency, bandwidth int) *DRAM {
+	if latency < 0 || bandwidth <= 0 {
+		panic(fmt.Sprintf("dram: bad parameters latency=%d bandwidth=%d", latency, bandwidth))
+	}
+	return &DRAM{latency: uint64(latency), bandwidth: bandwidth}
+}
+
+func (d *DRAM) occupy(now uint64, bytes int) uint64 {
+	start := now
+	if d.chanFree > start {
+		start = d.chanFree
+	}
+	ser := uint64((bytes + d.bandwidth - 1) / d.bandwidth)
+	d.chanFree = start + ser
+	return start
+}
+
+// Read starts a line read of the given size at cycle now and returns the
+// cycle the data is available.
+func (d *DRAM) Read(now uint64, bytes int) (done uint64) {
+	d.Reads++
+	return d.occupy(now, bytes) + d.latency
+}
+
+// Write starts a line writeback; writes are posted (the caller need not wait)
+// but still occupy channel bandwidth. The returned cycle is when the channel
+// accepted the data.
+func (d *DRAM) Write(now uint64, bytes int) (accepted uint64) {
+	d.Writes++
+	return d.occupy(now, bytes)
+}

@@ -1,0 +1,53 @@
+package dram
+
+import "testing"
+
+func TestReadLatency(t *testing.T) {
+	d := New(100, 16)
+	// 64-byte line: 4 cycles of channel occupancy + 100 latency.
+	if got := d.Read(1000, 64); got != 1100 {
+		t.Fatalf("read done = %d, want 1100", got)
+	}
+	if d.Reads != 1 {
+		t.Fatalf("reads = %d", d.Reads)
+	}
+}
+
+func TestChannelContention(t *testing.T) {
+	d := New(100, 16)
+	a := d.Read(0, 64) // occupies channel cycles 0..3
+	b := d.Read(0, 64) // must start at 4
+	if a != 100 || b != 104 {
+		t.Fatalf("contended reads at %d, %d; want 100, 104", a, b)
+	}
+}
+
+func TestWriteIsPostedButOccupiesChannel(t *testing.T) {
+	d := New(100, 16)
+	if acc := d.Write(0, 64); acc != 0 {
+		t.Fatalf("write accepted at %d, want 0", acc)
+	}
+	if got := d.Read(0, 64); got != 104 {
+		t.Fatalf("read after write done = %d, want 104", got)
+	}
+	if d.Writes != 1 {
+		t.Fatalf("writes = %d", d.Writes)
+	}
+}
+
+func TestIdleChannelRecovers(t *testing.T) {
+	d := New(100, 16)
+	d.Read(0, 64)
+	if got := d.Read(1000, 64); got != 1100 {
+		t.Fatalf("idle-channel read = %d, want 1100", got)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 0) did not panic")
+		}
+	}()
+	New(-1, 0)
+}

@@ -1,0 +1,152 @@
+// Package harness runs measured simulations the way the paper's evaluation
+// does: each workload executes under a processor configuration for a warmup
+// instruction budget (analogous to the paper's 10B-instruction skip), then
+// counters are snapshotted and the measured window runs (analogous to the
+// paper's 1B-instruction window). Figures 4–8 and Table VI are all
+// computed from the deltas this package reports.
+package harness
+
+import (
+	"fmt"
+
+	"invisispec/internal/config"
+	"invisispec/internal/isa"
+	"invisispec/internal/sim"
+	"invisispec/internal/stats"
+	"invisispec/internal/workload"
+)
+
+// Result is one measured run.
+type Result struct {
+	Run      config.Run
+	Workload string
+	// Measured-window deltas.
+	Cycles       uint64
+	Instructions uint64
+	Traffic      [stats.NumTrafficClasses]uint64
+	Core         stats.Core // summed across cores
+	DRAMReads    uint64
+	LLCSBRate    float64 // LLC-SB hit rate over validations+exposures
+}
+
+// CPI returns measured cycles per instruction.
+func (r Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// TotalTraffic returns measured bytes moved.
+func (r Result) TotalTraffic() uint64 {
+	var t uint64
+	for _, v := range r.Traffic {
+		t += v
+	}
+	return t
+}
+
+// Measure runs progs under run for warmup+measure retired instructions and
+// returns the measured-window deltas.
+func Measure(run config.Run, name string, progs []*isa.Program, warmup, measure uint64) (Result, error) {
+	m, err := sim.New(run, progs)
+	if err != nil {
+		return Result{}, err
+	}
+	budget := (warmup + measure) * 600
+	if err := m.RunInstructions(warmup, budget); err != nil {
+		return Result{}, fmt.Errorf("%s warmup: %w", name, err)
+	}
+	startCycles := m.Cycle()
+	startCore := m.Stats.Sum()
+	startTraffic := m.Stats.TrafficBytes
+	startDRAM := m.Stats.DRAMReads
+	if err := m.RunInstructions(warmup+measure, budget); err != nil {
+		return Result{}, fmt.Errorf("%s measure: %w", name, err)
+	}
+	r := Result{
+		Run:      run,
+		Workload: name,
+		Cycles:   m.Cycle() - startCycles,
+		Core:     m.Stats.Sum().Sub(startCore),
+	}
+	r.Instructions = r.Core.Retired
+	for i := range r.Traffic {
+		r.Traffic[i] = m.Stats.TrafficBytes[i] - startTraffic[i]
+	}
+	r.DRAMReads = m.Stats.DRAMReads - startDRAM
+	if ve := r.Core.LLCSBHits + r.Core.LLCSBMisses; ve > 0 {
+		r.LLCSBRate = float64(r.Core.LLCSBHits) / float64(ve)
+	}
+	return r, nil
+}
+
+// MeasureSPEC measures one SPEC-like kernel on the 1-core machine.
+func MeasureSPEC(name string, d config.Defense, cm config.Consistency, warmup, measure uint64) (Result, error) {
+	prog, err := workload.SPEC(name)
+	if err != nil {
+		return Result{}, err
+	}
+	run := config.Run{Machine: config.Default(1), Defense: d, Consistency: cm}
+	return Measure(run, name, []*isa.Program{prog}, warmup, measure)
+}
+
+// MeasurePARSEC measures one PARSEC-like kernel on the 8-core machine.
+func MeasurePARSEC(name string, d config.Defense, cm config.Consistency, warmup, measure uint64) (Result, error) {
+	progs, err := workload.PARSEC(name, 8)
+	if err != nil {
+		return Result{}, err
+	}
+	run := config.Run{Machine: config.Default(8), Defense: d, Consistency: cm}
+	return Measure(run, name, progs, warmup, measure)
+}
+
+// Sweep runs one workload under all five defenses for a consistency model
+// and returns results keyed by defense.
+func Sweep(name string, parsec bool, cm config.Consistency, warmup, measure uint64) (map[config.Defense]Result, error) {
+	out := make(map[config.Defense]Result, 5)
+	for _, d := range config.AllDefenses() {
+		var (
+			r   Result
+			err error
+		)
+		if parsec {
+			r, err = MeasurePARSEC(name, d, cm, warmup, measure)
+		} else {
+			r, err = MeasureSPEC(name, d, cm, warmup, measure)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, d, err)
+		}
+		out[d] = r
+	}
+	return out, nil
+}
+
+// NormalizedTime returns each defense's execution-time slowdown relative to
+// Base for the same amount of work (Figures 4 and 7 bars).
+func NormalizedTime(res map[config.Defense]Result) map[config.Defense]float64 {
+	out := make(map[config.Defense]float64, len(res))
+	base := res[config.Base].CPI()
+	for d, r := range res {
+		out[d] = r.CPI() / base
+	}
+	return out
+}
+
+// NormalizedTraffic returns each defense's bytes-per-instruction relative
+// to Base (Figures 6 and 8 bars). When the baseline moves almost no bytes
+// (a fully cache-resident kernel), normalization is meaningless: the
+// denominator is floored at one byte per 16 instructions so such rows read
+// as ~0 rather than as noise blow-ups.
+func NormalizedTraffic(res map[config.Defense]Result) map[config.Defense]float64 {
+	out := make(map[config.Defense]float64, len(res))
+	base := float64(res[config.Base].TotalTraffic()) / float64(res[config.Base].Instructions)
+	if base < 1.0/16 {
+		base = 1.0 / 16
+	}
+	for d, r := range res {
+		out[d] = (float64(r.TotalTraffic()) / float64(r.Instructions)) / base
+	}
+	return out
+}

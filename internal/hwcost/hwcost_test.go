@@ -1,0 +1,57 @@
+package hwcost
+
+import (
+	"testing"
+
+	"invisispec/internal/config"
+)
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if got < want*(1-tol) || got > want*(1+tol) {
+		t.Errorf("%s = %.4f, want %.4f +/- %.0f%%", name, got, want, tol*100)
+	}
+}
+
+// The model must reproduce the paper's Table VII within a modest tolerance.
+func TestTable7L1SB(t *testing.T) {
+	e := L1SB(config.Default(1)).Estimate()
+	within(t, "L1-SB area", e.AreaMM2, 0.0174, 0.15)
+	within(t, "L1-SB access", e.AccessPS, 97.1, 0.15)
+	within(t, "L1-SB read", e.ReadPJ, 4.4, 0.15)
+	within(t, "L1-SB write", e.WritePJ, 4.3, 0.15)
+	within(t, "L1-SB leak", e.LeakMW, 0.56, 0.15)
+}
+
+func TestTable7LLCSB(t *testing.T) {
+	e := LLCSB(config.Default(1)).Estimate()
+	within(t, "LLC-SB area", e.AreaMM2, 0.0176, 0.15)
+	within(t, "LLC-SB access", e.AccessPS, 97.1, 0.15)
+	within(t, "LLC-SB read", e.ReadPJ, 4.4, 0.15)
+	within(t, "LLC-SB write", e.WritePJ, 4.3, 0.15)
+	within(t, "LLC-SB leak", e.LeakMW, 0.61, 0.15)
+}
+
+func TestMonotonicInBits(t *testing.T) {
+	small := Array{Entries: 16, DataBits: 512, TagBits: 64}.Estimate()
+	big := Array{Entries: 64, DataBits: 512, TagBits: 64}.Estimate()
+	if big.AreaMM2 <= small.AreaMM2 || big.ReadPJ <= small.ReadPJ ||
+		big.LeakMW <= small.LeakMW || big.AccessPS <= small.AccessPS {
+		t.Error("costs must grow with capacity")
+	}
+}
+
+func TestCAMCostsMore(t *testing.T) {
+	ram := Array{Entries: 32, DataBits: 512, TagBits: 59}.Estimate()
+	cam := Array{Entries: 32, DataBits: 512, TagBits: 59, CAM: true}.Estimate()
+	if cam.AreaMM2 <= ram.AreaMM2 || cam.LeakMW <= ram.LeakMW {
+		t.Error("CAM must cost more than RAM of the same geometry")
+	}
+}
+
+func TestBits(t *testing.T) {
+	a := Array{Entries: 32, DataBits: 512, TagBits: 72}
+	if a.Bits() != 32*584 {
+		t.Fatalf("Bits = %d", a.Bits())
+	}
+}

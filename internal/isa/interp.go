@@ -1,0 +1,111 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interp is a single-threaded functional interpreter — the golden model the
+// out-of-order core is cross-checked against. It executes instructions one
+// at a time, in program order, with no speculation, so its final
+// architectural state is the reference for any single-threaded program.
+type Interp struct {
+	Prog *Program
+	Mem  *Memory
+	Regs [NumRegs]uint64
+	PC   int
+	// Halted is set once OpHalt retires or an unhandled exception occurs.
+	Halted bool
+	// Faults counts exceptions taken (privileged loads).
+	Faults uint64
+	// Retired counts architecturally executed instructions.
+	Retired uint64
+}
+
+// ErrRunaway is returned when the step budget is exhausted before a halt.
+var ErrRunaway = errors.New("isa: interpreter exceeded step budget")
+
+// NewInterp builds an interpreter with the program image loaded into a fresh
+// memory.
+func NewInterp(p *Program) *Interp {
+	m := NewMemory()
+	m.LoadProgramImage(p)
+	return &Interp{Prog: p, Mem: m, PC: p.Entry}
+}
+
+// Step executes one instruction. It reports whether the machine is still
+// running afterwards.
+func (it *Interp) Step() bool {
+	if it.Halted {
+		return false
+	}
+	in := it.Prog.At(it.PC)
+	next := it.PC + 1
+	switch {
+	case in.Op == OpHalt:
+		it.Halted = true
+		it.Retired++
+		return false
+	case in.Op == OpLoad:
+		if in.Priv {
+			// Exception at retirement: architectural state is not modified
+			// by the load; control transfers to the handler (or halts).
+			it.Faults++
+			it.Retired++
+			if it.Prog.Handler >= 0 {
+				it.PC = it.Prog.Handler
+				return true
+			}
+			it.Halted = true
+			return false
+		}
+		addr := it.Regs[in.Rs1] + uint64(in.Imm)
+		it.Regs[in.Rd] = it.Mem.Read(addr, in.Size)
+	case in.Op == OpStore:
+		addr := it.Regs[in.Rs1] + uint64(in.Imm)
+		it.Mem.Write(addr, in.Size, it.Regs[in.Rs2])
+	case in.Op == OpRMW:
+		addr := it.Regs[in.Rs1]
+		old := it.Mem.Read(addr, in.Size)
+		it.Mem.Write(addr, in.Size, old+it.Regs[in.Rs2])
+		it.Regs[in.Rd] = old
+	case in.Op == OpCycle:
+		it.Regs[in.Rd] = 0 // the golden model has no clock
+	case in.Op == OpPrefetch, in.Op == OpFlush, in.Op == OpFence, in.Op == OpAcquire,
+		in.Op == OpRelease, in.Op == OpNop:
+		// No architectural effect.
+	case in.Op.IsCondBranch():
+		if BranchTaken(in.Op, it.Regs[in.Rs1], it.Regs[in.Rs2]) {
+			next = in.Target
+		}
+	case in.Op == OpJmp:
+		next = in.Target
+	case in.Op == OpJmpI:
+		next = int(it.Regs[in.Rs1])
+	case in.Op == OpCall:
+		it.Regs[in.Rd] = uint64(it.PC + 1)
+		next = in.Target
+	case in.Op == OpRet:
+		next = int(it.Regs[in.Rs1])
+	case in.Op.IsALU():
+		it.Regs[in.Rd] = EvalALU(in.Op, it.Regs[in.Rs1], it.Regs[in.Rs2], in.Imm)
+	default:
+		panic(fmt.Sprintf("isa: interpreter cannot execute %v", in.Op))
+	}
+	it.PC = next
+	it.Retired++
+	return true
+}
+
+// Run executes until halt or until maxSteps instructions have retired.
+func (it *Interp) Run(maxSteps uint64) error {
+	for i := uint64(0); i < maxSteps; i++ {
+		if !it.Step() {
+			return nil
+		}
+	}
+	if it.Halted {
+		return nil
+	}
+	return ErrRunaway
+}

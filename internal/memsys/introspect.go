@@ -1,0 +1,94 @@
+package memsys
+
+import "invisispec/internal/coherence"
+
+// This file exposes read-only views of hierarchy state for tests and for
+// the security-invariant checks (e.g. "a squashed USL leaves no trace in
+// any cache, directory, or replacement state").
+
+// L1State returns the MESI state of addr's line in the core's L1D
+// (coherence.Invalid if absent).
+func (h *Hierarchy) L1State(core int, addr uint64) coherence.State {
+	line := h.l1d[core].arr.Lookup(h.LineOf(addr))
+	if line == nil {
+		return coherence.Invalid
+	}
+	return coherence.State(line.State)
+}
+
+// L1LRUOrder returns the MRU-to-LRU line numbers of the L1D set containing
+// addr.
+func (h *Hierarchy) L1LRUOrder(core int, addr uint64) []uint64 {
+	a := h.l1d[core].arr
+	return a.LRUOrder(a.SetOf(h.LineOf(addr)))
+}
+
+// LLCPresent reports whether addr's line is resident in the LLC.
+func (h *Hierarchy) LLCPresent(addr uint64) bool {
+	ln := h.LineOf(addr)
+	return h.bank[h.homeBank(ln)].arr.Lookup(ln) != nil
+}
+
+// LLCDir returns the directory entry for addr's line.
+func (h *Hierarchy) LLCDir(addr uint64) coherence.DirEntry {
+	ln := h.LineOf(addr)
+	return dirEntryOf(h.bank[h.homeBank(ln)].arr.Lookup(ln))
+}
+
+// LLCLRUOrder returns the MRU-to-LRU order of the LLC set containing addr
+// in its home bank.
+func (h *Hierarchy) LLCLRUOrder(addr uint64) []uint64 {
+	ln := h.LineOf(addr)
+	a := h.bank[h.homeBank(ln)].arr
+	return a.LRUOrder(a.SetOf(ln))
+}
+
+// LLCSBEntry returns the contents of a core's LLC-SB entry.
+func (h *Hierarchy) LLCSBEntry(core, idx int) (lineNum uint64, epoch uint64, valid bool) {
+	e := h.sb[core].entries[idx]
+	return e.lineNum, e.epoch, e.valid
+}
+
+// L1DInFlight returns the number of outstanding demand misses at a core's
+// L1D.
+func (h *Hierarchy) L1DInFlight(core int) int { return h.l1d[core].mshr.InFlight() }
+
+// DebugBankState reports lock/queue status of the line containing addr (for
+// diagnosing protocol hangs in tests).
+func (h *Hierarchy) DebugBankState(addr uint64) (busy bool, queued int, mshrInFlight int) {
+	ln := h.LineOf(addr)
+	b := h.bank[h.homeBank(ln)]
+	return b.busy[ln], len(b.waiting[ln]), h.l1d[0].mshr.InFlight()
+}
+
+// DebugEvents returns the number of pending hierarchy events.
+func (h *Hierarchy) DebugEvents() int { return len(h.events) }
+
+// FlushLine implements a clflush: the line containing addr is invalidated
+// from every L1, written back from the LLC if dirty, dropped from the LLC,
+// and purged from every LLC-SB. It is an architectural (non-speculative)
+// operation; timing is charged by the core.
+func (h *Hierarchy) FlushLine(addr uint64) {
+	ln := h.LineOf(addr)
+	for c := range h.l1d {
+		h.invalidateL1(c, ln)
+		h.l1i[c].arr.Invalidate(ln)
+	}
+	b := h.bank[h.homeBank(ln)]
+	if line := b.arr.Lookup(ln); line != nil {
+		// An owned line may have been silently dirtied in the owner's L1;
+		// like a recall, the flush must assume it needs writing back.
+		if line.Dirty || line.Owner != coherence.NoOwner {
+			h.mesh.dram.write(h.now, h.cfg.DataMsgBytes)
+		}
+		b.arr.Invalidate(ln)
+	}
+	for _, sb := range h.sb {
+		sb.invalidateLine(ln)
+	}
+}
+
+// L1IPresent reports whether addr's line is in the core's L1I.
+func (h *Hierarchy) L1IPresent(core int, addr uint64) bool {
+	return h.l1i[core].arr.Lookup(h.LineOf(addr)) != nil
+}

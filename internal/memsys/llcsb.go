@@ -1,0 +1,48 @@
+package memsys
+
+// llcSB is one core's LLC speculative buffer (§V-F, §VI-C): a circular
+// buffer with as many entries as the load queue and a one-to-one mapping
+// between LQ and LLC-SB entries. Each entry records the line a USL fetched
+// from main memory and the core's squash-epoch at fill time. Data bytes are
+// not stored — the LLC-SB is invalidated whenever the line could change, so
+// a hit is equivalent to re-reading the (unchanged) memory value, which the
+// core does from the functional memory image.
+type llcSB struct {
+	entries []llcsbEntry
+}
+
+type llcsbEntry struct {
+	valid   bool
+	lineNum uint64
+	epoch   uint64
+}
+
+func newLLCSB(lqEntries int) *llcSB {
+	return &llcSB{entries: make([]llcsbEntry, lqEntries)}
+}
+
+// fill stores a memory fill for the USL at LQ index idx. A stale request
+// (its epoch is older than the entry's) is dropped (§VI-C).
+func (s *llcSB) fill(idx int, lineNum, epoch uint64) {
+	e := &s.entries[idx]
+	if e.valid && e.epoch > epoch {
+		return
+	}
+	*e = llcsbEntry{valid: true, lineNum: lineNum, epoch: epoch}
+}
+
+// lookup reports whether the entry at idx matches the line and epoch of a
+// validation/exposure.
+func (s *llcSB) lookup(idx int, lineNum, epoch uint64) bool {
+	e := s.entries[idx]
+	return e.valid && e.lineNum == lineNum && e.epoch == epoch
+}
+
+// invalidateLine purges every entry holding lineNum.
+func (s *llcSB) invalidateLine(lineNum uint64) {
+	for i := range s.entries {
+		if s.entries[i].valid && s.entries[i].lineNum == lineNum {
+			s.entries[i] = llcsbEntry{}
+		}
+	}
+}

@@ -1,0 +1,560 @@
+package memsys
+
+import (
+	"testing"
+
+	"invisispec/internal/coherence"
+	"invisispec/internal/config"
+	"invisispec/internal/stats"
+)
+
+// testClient records everything the hierarchy reports to a core.
+type testClient struct {
+	delivered     []Response
+	invalidations []uint64
+	evictions     []uint64
+}
+
+func (c *testClient) Deliver(now uint64, r Response) { c.delivered = append(c.delivered, r) }
+func (c *testClient) OnInvalidate(now uint64, line uint64) {
+	c.invalidations = append(c.invalidations, line)
+}
+func (c *testClient) OnL1Evict(now uint64, line uint64) { c.evictions = append(c.evictions, line) }
+
+func (c *testClient) gotToken(tok uint64) bool {
+	for _, r := range c.delivered {
+		if r.Token == tok {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *testClient) resp(tok uint64) *Response {
+	for i := range c.delivered {
+		if c.delivered[i].Token == tok {
+			return &c.delivered[i]
+		}
+	}
+	return nil
+}
+
+type rig struct {
+	h       *Hierarchy
+	st      *stats.Machine
+	clients []*testClient
+	cycle   uint64
+}
+
+func newRig(t *testing.T, cores int) *rig {
+	t.Helper()
+	cfg := config.Default(cores)
+	cfg.HWPrefetch = false // unit tests count exact transactions
+	st := stats.NewMachine(cores)
+	h := New(cfg, st)
+	r := &rig{h: h, st: st}
+	for i := 0; i < cores; i++ {
+		c := &testClient{}
+		r.clients = append(r.clients, c)
+		h.Connect(i, c)
+	}
+	h.Tick(0)
+	return r
+}
+
+// step advances one cycle.
+func (r *rig) step() {
+	r.cycle++
+	r.h.Tick(r.cycle)
+}
+
+// runUntil advances until cond or the cycle budget runs out, returning the
+// cycles elapsed.
+func (r *rig) runUntil(t *testing.T, cond func() bool, max uint64) uint64 {
+	t.Helper()
+	start := r.cycle
+	for !cond() {
+		if r.cycle-start > max {
+			t.Fatalf("condition not reached within %d cycles", max)
+		}
+		r.step()
+	}
+	return r.cycle - start
+}
+
+func TestReadMissFillsL1AndLLC(t *testing.T) {
+	r := newRig(t, 1)
+	addr := uint64(0x10000)
+	if !r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: addr, Token: 1}) {
+		t.Fatal("submit rejected")
+	}
+	lat := r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	if lat < 100 {
+		t.Fatalf("cold miss served in %d cycles; DRAM latency alone is 100", lat)
+	}
+	if got := r.h.L1State(0, addr); got != coherence.Exclusive {
+		t.Fatalf("L1 state = %v, want E", got)
+	}
+	if !r.h.LLCPresent(addr) {
+		t.Fatal("line not installed in LLC")
+	}
+	if r.st.DRAMReads != 1 {
+		t.Fatalf("DRAM reads = %d, want 1", r.st.DRAMReads)
+	}
+	if r.clients[0].resp(1).L1Hit {
+		t.Fatal("miss reported as L1 hit")
+	}
+}
+
+func TestReadHitIsFast(t *testing.T) {
+	r := newRig(t, 1)
+	addr := uint64(0x10000)
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: addr, Token: 1})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: addr, Token: 2})
+	lat := r.runUntil(t, func() bool { return r.clients[0].gotToken(2) }, 100)
+	if lat > 3 {
+		t.Fatalf("L1 hit took %d cycles", lat)
+	}
+	if !r.clients[0].resp(2).L1Hit {
+		t.Fatal("hit not flagged")
+	}
+}
+
+func TestCoalescingSameLine(t *testing.T) {
+	r := newRig(t, 1)
+	addr := uint64(0x20000)
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: addr, Token: 1})
+	r.step()
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: addr + 8, Token: 2})
+	r.runUntil(t, func() bool {
+		return r.clients[0].gotToken(1) && r.clients[0].gotToken(2)
+	}, 1000)
+	if r.st.DRAMReads != 1 {
+		t.Fatalf("coalesced miss issued %d DRAM reads", r.st.DRAMReads)
+	}
+}
+
+func TestWriteInvalidatesSharer(t *testing.T) {
+	r := newRig(t, 2)
+	addr := uint64(0x30000)
+	// Core 0 reads the line.
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: addr, Token: 1})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	// Core 1 writes it.
+	r.h.Submit(Request{Type: ReadExcl, Core: 1, Addr: addr, Token: 2})
+	r.runUntil(t, func() bool { return r.clients[1].gotToken(2) }, 1000)
+	if got := r.h.L1State(1, addr); got != coherence.Modified {
+		t.Fatalf("writer L1 state = %v, want M", got)
+	}
+	if got := r.h.L1State(0, addr); got != coherence.Invalid {
+		t.Fatalf("reader L1 state = %v, want I", got)
+	}
+	if len(r.clients[0].invalidations) != 1 ||
+		r.clients[0].invalidations[0] != r.h.LineOf(addr) {
+		t.Fatalf("invalidation callbacks: %v", r.clients[0].invalidations)
+	}
+	dir := r.h.LLCDir(addr)
+	if dir.Owner != 1 || dir.Sharers != 0 {
+		t.Fatalf("directory after GetX: %+v", dir)
+	}
+}
+
+func TestReadAfterRemoteWriteForwardsFromOwner(t *testing.T) {
+	r := newRig(t, 2)
+	addr := uint64(0x40000)
+	r.h.Submit(Request{Type: ReadExcl, Core: 0, Addr: addr, Token: 1})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	r.h.Submit(Request{Type: ReadShared, Core: 1, Addr: addr, Token: 2})
+	r.runUntil(t, func() bool { return r.clients[1].gotToken(2) }, 1000)
+	// Both now Shared; directory has both as sharers, no owner.
+	if got := r.h.L1State(0, addr); got != coherence.Shared {
+		t.Fatalf("old owner state = %v, want S", got)
+	}
+	if got := r.h.L1State(1, addr); got != coherence.Shared {
+		t.Fatalf("reader state = %v, want S", got)
+	}
+	dir := r.h.LLCDir(addr)
+	if dir.Owner != coherence.NoOwner || !dir.HasSharer(0) || !dir.HasSharer(1) {
+		t.Fatalf("directory after downgrade: %+v", dir)
+	}
+	if r.st.DRAMReads != 1 {
+		t.Fatalf("DRAM reads = %d, want 1 (forward, not refetch)", r.st.DRAMReads)
+	}
+}
+
+func TestSpecReadLeavesNoTrace(t *testing.T) {
+	r := newRig(t, 1)
+	addr := uint64(0x50000)
+	// Warm an unrelated line in the same L1 set to have LRU state to check.
+	other := addr + 64
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: other, Token: 1})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+
+	llcLRUBefore := r.h.LLCLRUOrder(addr)
+	r.h.Submit(Request{Type: SpecRead, Core: 0, Addr: addr, Token: 2, LQIdx: 3, Epoch: 7})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(2) }, 1000)
+
+	if got := r.h.L1State(0, addr); got != coherence.Invalid {
+		t.Fatalf("Spec-GetS installed line in L1 (state %v)", got)
+	}
+	if r.h.LLCPresent(addr) {
+		t.Fatal("Spec-GetS installed line in LLC")
+	}
+	llcLRUAfter := r.h.LLCLRUOrder(addr)
+	if len(llcLRUBefore) != len(llcLRUAfter) {
+		t.Fatal("Spec-GetS changed LLC occupancy")
+	}
+	for i := range llcLRUBefore {
+		if llcLRUBefore[i] != llcLRUAfter[i] {
+			t.Fatal("Spec-GetS perturbed LLC replacement state")
+		}
+	}
+	// But the LLC-SB was filled for the later validation/exposure.
+	ln, ep, valid := r.h.LLCSBEntry(0, 3)
+	if !valid || ln != r.h.LineOf(addr) || ep != 7 {
+		t.Fatalf("LLC-SB entry = (%d,%d,%v)", ln, ep, valid)
+	}
+}
+
+func TestSpecReadServedByL1WithoutTouch(t *testing.T) {
+	r := newRig(t, 1)
+	base := uint64(0x60000)
+	setStride := uint64(64 * 128) // same L1 set (128 sets in 64KB/8-way/64B)
+	a, b := base, base+setStride
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: a, Token: 1})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: b, Token: 2})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(2) }, 1000)
+	before := r.h.L1LRUOrder(0, a)
+	// Spec-read line a (currently LRU): must hit in L1 but not promote it.
+	r.h.Submit(Request{Type: SpecRead, Core: 0, Addr: a, Token: 3})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(3) }, 100)
+	if !r.clients[0].resp(3).L1Hit {
+		t.Fatal("spec read missed resident line")
+	}
+	after := r.h.L1LRUOrder(0, a)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("Spec-GetS perturbed L1 LRU: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestValidationServedByLLCSB(t *testing.T) {
+	r := newRig(t, 1)
+	addr := uint64(0x70000)
+	r.h.Submit(Request{Type: SpecRead, Core: 0, Addr: addr, Token: 1, LQIdx: 5, Epoch: 3})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	dramBefore := r.st.DRAMReads
+	r.h.Submit(Request{Type: Validate, Core: 0, Addr: addr, Token: 2, LQIdx: 5, Epoch: 3})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(2) }, 1000)
+	if r.st.DRAMReads != dramBefore {
+		t.Fatal("validation went to DRAM despite LLC-SB hit")
+	}
+	if !r.clients[0].resp(2).FromLLCSB {
+		t.Fatal("response not flagged FromLLCSB")
+	}
+	if r.st.Cores[0].LLCSBHits != 1 {
+		t.Fatalf("LLCSBHits = %d", r.st.Cores[0].LLCSBHits)
+	}
+	// The validation installs the line normally.
+	if got := r.h.L1State(0, addr); got == coherence.Invalid {
+		t.Fatal("validation did not install line in L1")
+	}
+	if !r.h.LLCPresent(addr) {
+		t.Fatal("validation did not install line in LLC")
+	}
+	// And the LLC-SB entry is consumed (invalidated for all cores).
+	if _, _, valid := r.h.LLCSBEntry(0, 5); valid {
+		t.Fatal("LLC-SB entry not invalidated after use")
+	}
+}
+
+func TestValidationEpochMismatchMissesLLCSB(t *testing.T) {
+	r := newRig(t, 1)
+	addr := uint64(0x80000)
+	r.h.Submit(Request{Type: SpecRead, Core: 0, Addr: addr, Token: 1, LQIdx: 5, Epoch: 3})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	dramBefore := r.st.DRAMReads
+	// Squash bumped the epoch; the re-issued load validates with epoch 4.
+	r.h.Submit(Request{Type: Validate, Core: 0, Addr: addr, Token: 2, LQIdx: 5, Epoch: 4})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(2) }, 1000)
+	if r.st.DRAMReads != dramBefore+1 {
+		t.Fatal("stale-epoch validation should refetch from DRAM")
+	}
+	if r.st.Cores[0].LLCSBMisses != 1 {
+		t.Fatalf("LLCSBMisses = %d", r.st.Cores[0].LLCSBMisses)
+	}
+}
+
+func TestSafeMissPurgesLLCSBs(t *testing.T) {
+	r := newRig(t, 2)
+	addr := uint64(0x90000)
+	r.h.Submit(Request{Type: SpecRead, Core: 0, Addr: addr, Token: 1, LQIdx: 2, Epoch: 1})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	if _, _, valid := r.h.LLCSBEntry(0, 2); !valid {
+		t.Fatal("LLC-SB not filled")
+	}
+	// Core 1 performs a safe read of the same line: core 0's LLC-SB entry
+	// must be purged so its later validation refetches current data.
+	r.h.Submit(Request{Type: ReadShared, Core: 1, Addr: addr, Token: 2})
+	r.runUntil(t, func() bool { return r.clients[1].gotToken(2) }, 1000)
+	if _, _, valid := r.h.LLCSBEntry(0, 2); valid {
+		t.Fatal("safe access did not purge peer LLC-SB")
+	}
+}
+
+func TestStaleSpecFillDropped(t *testing.T) {
+	r := newRig(t, 1)
+	addr1 := uint64(0xA0000)
+	addr2 := uint64(0xB0000)
+	// Newer-epoch fill first.
+	r.h.Submit(Request{Type: SpecRead, Core: 0, Addr: addr2, Token: 1, LQIdx: 0, Epoch: 9})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	// A stale (older-epoch) fill to the same entry must be dropped.
+	r.h.Submit(Request{Type: SpecRead, Core: 0, Addr: addr1, Token: 2, LQIdx: 0, Epoch: 5})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(2) }, 1000)
+	ln, ep, valid := r.h.LLCSBEntry(0, 0)
+	if !valid || ln != r.h.LineOf(addr2) || ep != 9 {
+		t.Fatalf("stale fill overwrote entry: (%d,%d,%v)", ln, ep, valid)
+	}
+}
+
+func TestSpecReadForwardedFromOwner(t *testing.T) {
+	r := newRig(t, 2)
+	addr := uint64(0xC0000)
+	r.h.Submit(Request{Type: ReadExcl, Core: 1, Addr: addr, Token: 1})
+	r.runUntil(t, func() bool { return r.clients[1].gotToken(1) }, 1000)
+	dirBefore := r.h.LLCDir(addr)
+	r.h.Submit(Request{Type: SpecRead, Core: 0, Addr: addr, Token: 2, LQIdx: 0, Epoch: 0})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(2) }, 1000)
+	// Owner keeps M; directory unchanged; no invalidation at owner.
+	if got := r.h.L1State(1, addr); got != coherence.Modified {
+		t.Fatalf("owner state after Spec-GetS = %v, want M", got)
+	}
+	if r.h.LLCDir(addr) != dirBefore {
+		t.Fatal("Spec-GetS changed directory state")
+	}
+	if len(r.clients[1].invalidations) != 0 {
+		t.Fatal("Spec-GetS invalidated the owner")
+	}
+}
+
+func TestPortLimit(t *testing.T) {
+	r := newRig(t, 1)
+	ok := 0
+	for i := 0; i < 5; i++ {
+		if r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: uint64(0x1000 + 64*i), Token: uint64(i)}) {
+			ok++
+		}
+	}
+	if ok != 3 { // L1D has 3 ports (Table IV)
+		t.Fatalf("accepted %d requests in one cycle, want 3", ok)
+	}
+	r.step()
+	if !r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: 0x9000, Token: 99}) {
+		t.Fatal("port budget did not reset")
+	}
+}
+
+func TestEvictionCallbackAndWriteback(t *testing.T) {
+	r := newRig(t, 1)
+	cfg := config.Default(1)
+	sets := cfg.L1D.Sets(cfg.LineSize)
+	ways := cfg.L1D.Ways
+	stride := uint64(sets * cfg.LineSize)
+	// Write a line (dirty), then read ways more lines in the same set to
+	// force its eviction and writeback.
+	r.h.Submit(Request{Type: ReadExcl, Core: 0, Addr: 0, Token: 1000})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1000) }, 1000)
+	for i := 1; i <= ways; i++ {
+		tok := uint64(1000 + i)
+		addr := stride * uint64(i)
+		r.runUntil(t, func() bool {
+			return r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: addr, Token: tok})
+		}, 100)
+		r.runUntil(t, func() bool { return r.clients[0].gotToken(tok) }, 1000)
+	}
+	if got := r.h.L1State(0, 0); got != coherence.Invalid {
+		t.Fatalf("line 0 not evicted (state %v)", got)
+	}
+	found := false
+	for _, e := range r.clients[0].evictions {
+		if e == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no eviction callback for line 0: %v", r.clients[0].evictions)
+	}
+	// Directory must have dropped core 0's ownership of line 0 (PutM).
+	r.runUntil(t, func() bool { return r.h.LLCDir(0).Owner == coherence.NoOwner }, 1000)
+	if r.st.TrafficBytes[stats.TrafficWriteback] == 0 {
+		t.Fatal("dirty eviction produced no writeback traffic")
+	}
+}
+
+func TestIFetchPath(t *testing.T) {
+	r := newRig(t, 1)
+	iaddr := uint64(1) << 40
+	r.h.Submit(Request{Type: IFetch, Core: 0, Addr: iaddr, Token: 1})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	// Second fetch of the same line hits the L1I.
+	r.h.Submit(Request{Type: IFetch, Core: 0, Addr: iaddr + 32, Token: 2})
+	lat := r.runUntil(t, func() bool { return r.clients[0].gotToken(2) }, 100)
+	if lat > 3 {
+		t.Fatalf("L1I hit took %d cycles", lat)
+	}
+	if r.st.TrafficBytes[stats.TrafficFetch] == 0 {
+		t.Fatal("instruction fetch produced no fetch-class traffic")
+	}
+}
+
+func TestTrafficClassSplit(t *testing.T) {
+	r := newRig(t, 1)
+	addr := uint64(0xD0000)
+	r.h.Submit(Request{Type: SpecRead, Core: 0, Addr: addr, Token: 1, LQIdx: 0, Epoch: 0})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	r.h.Submit(Request{Type: Expose, Core: 0, Addr: addr, Token: 2, LQIdx: 0, Epoch: 0})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(2) }, 1000)
+	if r.st.TrafficBytes[stats.TrafficSpecLoad] == 0 {
+		t.Fatal("no spec-load traffic recorded")
+	}
+	if r.st.TrafficBytes[stats.TrafficValExp] == 0 {
+		t.Fatal("no expose/validate traffic recorded")
+	}
+}
+
+func TestPrefetcherFollowsStreams(t *testing.T) {
+	cfg := config.Default(1)
+	cfg.HWPrefetch = true
+	st := stats.NewMachine(1)
+	h := New(cfg, st)
+	cl := &testClient{}
+	h.Connect(0, cl)
+	h.Tick(0)
+	r := &rig{h: h, st: st, clients: []*testClient{cl}}
+	addr := uint64(0x10000)
+	// A single cold miss trains nothing: no prefetch (random workloads pay
+	// no useless bandwidth).
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: addr, Token: 1})
+	r.runUntil(t, func() bool { return cl.gotToken(1) }, 2000)
+	for extra := 0; extra < 300; extra++ {
+		r.step()
+	}
+	if r.h.L1State(0, addr+64) != coherence.Invalid {
+		t.Fatal("an isolated miss must not prefetch")
+	}
+	// Sequential misses build confidence and start the stream.
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: addr + 64, Token: 2})
+	r.runUntil(t, func() bool { return cl.gotToken(2) }, 2000)
+	r.runUntil(t, func() bool {
+		return r.h.L1State(0, addr+128) != coherence.Invalid
+	}, 4000)
+	// Hits on prefetched lines re-arm the stream and ramp the distance.
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: addr + 128, Token: 3})
+	r.runUntil(t, func() bool { return cl.gotToken(3) }, 2000)
+	r.runUntil(t, func() bool {
+		return r.h.L1State(0, addr+128+64*4) != coherence.Invalid
+	}, 4000)
+	// Far-away random misses reset confidence: no prefetch there.
+	far := uint64(0x900000)
+	r.h.Submit(Request{Type: ReadShared, Core: 0, Addr: far, Token: 4})
+	r.runUntil(t, func() bool { return cl.gotToken(4) }, 2000)
+	for extra := 0; extra < 300; extra++ {
+		r.step()
+	}
+	if r.h.L1State(0, far+64) != coherence.Invalid {
+		t.Fatal("a random miss after a stream must not prefetch")
+	}
+}
+
+func TestSpecReadDoesNotTriggerPrefetch(t *testing.T) {
+	cfg := config.Default(1)
+	cfg.HWPrefetch = true
+	st := stats.NewMachine(1)
+	h := New(cfg, st)
+	cl := &testClient{}
+	h.Connect(0, cl)
+	h.Tick(0)
+	r := &rig{h: h, st: st, clients: []*testClient{cl}}
+	addr := uint64(0x20000)
+	// Even a sequential run of Spec-GetS reads must not train or trigger
+	// the prefetcher: speculative accesses are invisible to it.
+	for i := uint64(0); i < 4; i++ {
+		tok := i + 1
+		r.h.Submit(Request{Type: SpecRead, Core: 0, Addr: addr + 64*i, Token: tok, LQIdx: int(i)})
+		r.runUntil(t, func() bool { return cl.gotToken(tok) }, 2000)
+	}
+	for extra := 0; extra < 300; extra++ {
+		r.step()
+	}
+	for d := 0; d <= cfg.PrefetchDegree+4; d++ {
+		if r.h.L1State(0, addr+uint64(64*d)) != coherence.Invalid {
+			t.Fatalf("Spec-GetS stream triggered a (visible!) prefetch of line +%d", d)
+		}
+	}
+}
+
+func TestFlushLine(t *testing.T) {
+	r := newRig(t, 2)
+	addr := uint64(0xE0000)
+	// Dirty in core 0, LLC-SB entry in core 1.
+	r.h.Submit(Request{Type: ReadExcl, Core: 0, Addr: addr, Token: 1})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 1000)
+	r.h.Submit(Request{Type: SpecRead, Core: 1, Addr: addr + 4096, Token: 2, LQIdx: 1, Epoch: 0})
+	r.runUntil(t, func() bool { return r.clients[1].gotToken(2) }, 1000)
+
+	wbBefore := r.st.DRAMWrites
+	r.h.FlushLine(addr)
+	if got := r.h.L1State(0, addr); got != coherence.Invalid {
+		t.Fatalf("L1 state after flush = %v", got)
+	}
+	if r.h.LLCPresent(addr) {
+		t.Fatal("LLC line survived flush")
+	}
+	if r.st.DRAMWrites != wbBefore+1 {
+		t.Fatalf("dirty flush wrote %d lines to DRAM, want 1", r.st.DRAMWrites-wbBefore)
+	}
+	// Flushing the spec-read line purges the LLC-SB entry.
+	r.h.FlushLine(addr + 4096)
+	if _, _, valid := r.h.LLCSBEntry(1, 1); valid {
+		t.Fatal("flush did not purge the LLC-SB")
+	}
+	// The flushed line's holder was notified (conventional squash rule).
+	found := false
+	for _, ln := range r.clients[0].invalidations {
+		if ln == r.h.LineOf(addr) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("flush sent no invalidation callback")
+	}
+}
+
+func TestIFetchSpecLeavesNoTrace(t *testing.T) {
+	r := newRig(t, 1)
+	iaddr := uint64(3) << 40
+	r.h.Submit(Request{Type: IFetchSpec, Core: 0, Addr: iaddr, Token: 1})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(1) }, 2000)
+	if r.h.L1IPresent(0, iaddr) {
+		t.Fatal("invisible instruction fetch installed into the L1I")
+	}
+	if r.h.LLCPresent(iaddr) {
+		t.Fatal("invisible instruction fetch installed into the LLC")
+	}
+	// A later visible fetch installs normally and then invisible fetches
+	// hit it without touching replacement state.
+	r.h.Submit(Request{Type: IFetch, Core: 0, Addr: iaddr, Token: 2})
+	r.runUntil(t, func() bool { return r.clients[0].gotToken(2) }, 2000)
+	if !r.h.L1IPresent(0, iaddr) {
+		t.Fatal("visible fetch did not install")
+	}
+	r.h.Submit(Request{Type: IFetchSpec, Core: 0, Addr: iaddr, Token: 3})
+	lat := r.runUntil(t, func() bool { return r.clients[0].gotToken(3) }, 100)
+	if lat > 3 {
+		t.Fatalf("invisible fetch of resident line took %d cycles", lat)
+	}
+}

@@ -1,0 +1,89 @@
+package noc
+
+import (
+	"testing"
+
+	"invisispec/internal/stats"
+)
+
+func TestHops(t *testing.T) {
+	m := New(4, 2, 1, 16, nil)
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {0, 4, 1}, {0, 7, 4}, {3, 4, 4},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestSendLatencyScalesWithDistance(t *testing.T) {
+	m := New(4, 2, 1, 16, nil)
+	// 8-byte control message: 1 serialization cycle per link + 1 hop cycle.
+	if got := m.Send(100, 0, 1, 8, stats.TrafficNormal); got != 102 {
+		t.Fatalf("1-hop ctrl arrival = %d, want 102", got)
+	}
+	m2 := New(4, 2, 1, 16, nil)
+	if got := m2.Send(100, 0, 7, 8, stats.TrafficNormal); got != 108 {
+		t.Fatalf("4-hop ctrl arrival = %d, want 108", got)
+	}
+}
+
+func TestDataMessageSerialization(t *testing.T) {
+	m := New(4, 2, 1, 16, nil)
+	// 72-byte data message: ceil(72/16)=5 cycles per link + 1 hop.
+	if got := m.Send(0, 0, 1, 72, stats.TrafficNormal); got != 6 {
+		t.Fatalf("data arrival = %d, want 6", got)
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	m := New(4, 2, 1, 16, nil)
+	a := m.Send(0, 0, 1, 72, stats.TrafficNormal)
+	b := m.Send(0, 0, 1, 72, stats.TrafficNormal)
+	if b <= a {
+		t.Fatalf("second message (%d) did not queue behind first (%d)", b, a)
+	}
+	// Opposite-direction traffic must not contend.
+	m2 := New(4, 2, 1, 16, nil)
+	f := m2.Send(0, 0, 1, 72, stats.TrafficNormal)
+	g := m2.Send(0, 1, 0, 72, stats.TrafficNormal)
+	if f != g {
+		t.Fatalf("opposite links contended: %d vs %d", f, g)
+	}
+}
+
+func TestLocalSend(t *testing.T) {
+	m := New(4, 2, 1, 16, nil)
+	if got := m.Send(10, 3, 3, 72, stats.TrafficNormal); got != 15 {
+		t.Fatalf("local data send = %d, want 15", got)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	st := stats.NewMachine(1)
+	m := New(4, 2, 1, 16, st)
+	m.Send(0, 0, 1, 72, stats.TrafficSpecLoad)
+	m.Send(0, 1, 0, 8, stats.TrafficValExp)
+	m.Send(0, 2, 2, 72, stats.TrafficNormal) // local still counted
+	if st.TrafficBytes[stats.TrafficSpecLoad] != 72 {
+		t.Fatalf("spec bytes = %d", st.TrafficBytes[stats.TrafficSpecLoad])
+	}
+	if st.TrafficBytes[stats.TrafficValExp] != 8 {
+		t.Fatalf("valexp bytes = %d", st.TrafficBytes[stats.TrafficValExp])
+	}
+	if st.TotalTraffic() != 152 {
+		t.Fatalf("total = %d, want 152", st.TotalTraffic())
+	}
+}
+
+func TestSendPanicsOutOfRange(t *testing.T) {
+	m := New(2, 2, 1, 16, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range send did not panic")
+		}
+	}()
+	m.Send(0, 0, 4, 8, stats.TrafficNormal)
+}

@@ -1,0 +1,209 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"invisispec/internal/config"
+	"invisispec/internal/isa"
+	"invisispec/internal/sim"
+)
+
+// Classic multiprocessor litmus tests, run under every defense and both
+// memory models. Outcomes architecturally forbidden by the model (or by
+// cache coherence itself) must never appear — InvisiSpec explicitly claims
+// to preserve the memory model (paper §V-A3, Appendix), so these tests
+// guard the validation/exposure machinery as much as the baseline.
+
+// litmusRun executes per-core programs and returns a result-reading helper.
+func litmusRun(t *testing.T, d config.Defense, cm config.Consistency, progs []*isa.Program) func(addr uint64) uint64 {
+	t.Helper()
+	r := config.Run{Machine: config.Default(len(progs)), Defense: d, Consistency: cm}
+	m := sim.MustNew(r, progs)
+	if err := m.RunToCompletion(6_000_000); err != nil {
+		t.Fatalf("%v/%v: %v", d, cm, err)
+	}
+	return func(addr uint64) uint64 { return m.Mem.Read(addr, 8) }
+}
+
+func allConfigs() []config.Run {
+	var out []config.Run
+	for _, d := range config.AllDefenses() {
+		for _, cm := range []config.Consistency{config.TSO, config.RC} {
+			out = append(out, config.Run{Defense: d, Consistency: cm})
+		}
+	}
+	return out
+}
+
+// CoRR (coherence read-read): two reads of the same location by the same
+// core must not see values going backwards in coherence order. With a
+// single writer writing 1 then 2, a reader that sees 2 then (program-order
+// later) 1 violates cache coherence — forbidden under EVERY model.
+func TestLitmusCoRR(t *testing.T) {
+	const x, r1, r2 = 0x10000, 0x30000, 0x30040
+	writer := isa.NewBuilder("w").
+		Li(1, x).Li(2, 1).Li(3, 2).
+		St(8, 1, 0, 2).
+		St(8, 1, 0, 3).
+		Halt().MustBuild()
+	reader := isa.NewBuilder("r").
+		Li(1, x).Li(4, r1).Li(5, r2).
+		// Delay a little so the writes race the reads interestingly.
+		Li(9, 40).
+		Label("d").AddI(9, 9, -1).Bne(9, 0, "d").
+		Ld(8, 2, 1, 0).
+		Ld(8, 3, 1, 0).
+		St(8, 4, 0, 2).
+		St(8, 5, 0, 3).
+		Halt().MustBuild()
+	for _, c := range allConfigs() {
+		read := litmusRun(t, c.Defense, c.Consistency, []*isa.Program{writer, reader})
+		v1, v2 := read(r1), read(r2)
+		if v1 > v2 && v2 != 0 || v1 == 2 && v2 == 1 || v1 == 2 && v2 == 0 ||
+			v1 == 1 && v2 == 0 {
+			t.Errorf("%v/%v: CoRR violation: read %d then %d", c.Defense, c.Consistency, v1, v2)
+		}
+	}
+}
+
+// LB (load buffering): r1 = x; y = 1  ||  r2 = y; x = 1. The outcome
+// r1 == 1 && r2 == 1 requires loads to take values from stores that are
+// ordered after them — forbidden under TSO (and under RC without
+// speculation across the data being forwarded out of thin air; our
+// pipeline never forwards unperformed stores to other cores).
+func TestLitmusLoadBuffering(t *testing.T) {
+	const x, y, r1, r2 = 0x11000, 0x12000, 0x31000, 0x31040
+	p0 := isa.NewBuilder("p0").
+		Li(1, x).Li(2, y).Li(3, 1).Li(4, r1).
+		Ld(8, 5, 1, 0).
+		St(8, 2, 0, 3).
+		St(8, 4, 0, 5).
+		Halt().MustBuild()
+	p1 := isa.NewBuilder("p1").
+		Li(1, y).Li(2, x).Li(3, 1).Li(4, r2).
+		Ld(8, 5, 1, 0).
+		St(8, 2, 0, 3).
+		St(8, 4, 0, 5).
+		Halt().MustBuild()
+	for _, c := range allConfigs() {
+		read := litmusRun(t, c.Defense, c.Consistency, []*isa.Program{p0, p1})
+		if read(r1) == 1 && read(r2) == 1 {
+			t.Errorf("%v/%v: load-buffering outcome (1,1) observed", c.Defense, c.Consistency)
+		}
+	}
+}
+
+// WRC (write-to-read causality): P0 writes x; P1 reads x then writes y
+// (with a release); P2 reads y (with an acquire) then reads x. If P2 sees
+// y==1 it must also see x==1 — causality must not be broken by InvisiSpec's
+// deferred visibility.
+func TestLitmusWRC(t *testing.T) {
+	const x, y, ry, rx = 0x13000, 0x14000, 0x32000, 0x32040
+	p0 := isa.NewBuilder("p0").
+		Li(1, x).Li(2, 1).
+		St(8, 1, 0, 2).
+		Halt().MustBuild()
+	p1b := isa.NewBuilder("p1").
+		Li(1, x).Li(2, y).Li(3, 1).
+		Label("spin").
+		Ld(8, 4, 1, 0).
+		Beq(4, 0, "spin").
+		Release() // order the x observation before the y publication
+	p1 := p1b.St(8, 2, 0, 3).Halt().MustBuild()
+	p2 := isa.NewBuilder("p2").
+		Li(1, y).Li(2, x).Li(5, ry).Li(6, rx).
+		Label("spin").
+		Ld(8, 3, 1, 0).
+		Beq(3, 0, "spin").
+		Acquire().
+		Ld(8, 4, 2, 0).
+		St(8, 5, 0, 3).
+		St(8, 6, 0, 4).
+		Halt().MustBuild()
+	for _, c := range allConfigs() {
+		read := litmusRun(t, c.Defense, c.Consistency, []*isa.Program{p0, p1, p2})
+		if read(ry) == 1 && read(rx) != 1 {
+			t.Errorf("%v/%v: WRC causality violated (y=1 seen, x=%d)",
+				c.Defense, c.Consistency, read(rx))
+		}
+	}
+}
+
+// IRIW (independent reads of independent writes) with full fences between
+// the reader loads: both readers must agree on the order of the two
+// independent writes. Forbidden outcome: r1=1,r2=0,r3=1,r4=0.
+func TestLitmusIRIWWithFences(t *testing.T) {
+	const x, y = 0x15000, 0x16000
+	res := uint64(0x33000)
+	w := func(addr uint64) *isa.Program {
+		return isa.NewBuilder("w").
+			Li(1, addr).Li(2, 1).
+			St(8, 1, 0, 2).
+			Halt().MustBuild()
+	}
+	reader := func(first, second uint64, slot uint64) *isa.Program {
+		return isa.NewBuilder("r").
+			Li(1, first).Li(2, second).Li(3, slot).
+			Li(9, 30).
+			Label("d").AddI(9, 9, -1).Bne(9, 0, "d").
+			Ld(8, 4, 1, 0).
+			Fence().
+			Ld(8, 5, 2, 0).
+			St(8, 3, 0, 4).
+			St(8, 3, 64, 5).
+			Halt().MustBuild()
+	}
+	for _, c := range allConfigs() {
+		progs := []*isa.Program{
+			w(x), w(y),
+			reader(x, y, res),
+			reader(y, x, res+128),
+		}
+		read := litmusRun(t, c.Defense, c.Consistency, progs)
+		r1, r2 := read(res), read(res+64)      // saw x then y
+		r3, r4 := read(res+128), read(res+192) // saw y then x
+		if r1 == 1 && r2 == 0 && r3 == 1 && r4 == 0 {
+			t.Errorf("%v/%v: IRIW readers disagree on write order", c.Defense, c.Consistency)
+		}
+	}
+}
+
+// MP with a data dependency instead of a fence: the reader's second load
+// address depends on the flag value, which orders them on any machine that
+// respects dependencies (ours resolves addresses before issuing).
+func TestLitmusMPDataDependency(t *testing.T) {
+	const data, flag, out = 0x17000, 0x18000, 0x34000
+	w := isa.NewBuilder("w").
+		Li(1, data).Li(2, flag).Li(3, 42).Li(4, 1).
+		St(8, 1, 0, 3).
+		Release().
+		St(8, 2, 0, 4).
+		Halt().MustBuild()
+	r := isa.NewBuilder("r").
+		Li(2, flag).Li(5, out).
+		Label("spin").
+		Ld(8, 3, 2, 0). // 1 when published
+		Beq(3, 0, "spin").
+		// addr = data + (flag-1): a true data dependency on the flag load.
+		Li(6, data-1).
+		Add(6, 6, 3).
+		Ld(8, 7, 6, 0).
+		St(8, 5, 0, 7).
+		Halt().MustBuild()
+	for _, c := range allConfigs() {
+		read := litmusRun(t, c.Defense, c.Consistency, []*isa.Program{w, r})
+		if got := read(out); got != 42 {
+			t.Errorf("%v/%v: dependent load read %d, want 42", c.Defense, c.Consistency, got)
+		}
+	}
+}
+
+func TestLitmusNamesArePrintable(t *testing.T) {
+	// Keep the helper honest (and covered).
+	for i, c := range allConfigs() {
+		if fmt.Sprintf("%v/%v", c.Defense, c.Consistency) == "" {
+			t.Fatalf("config %d unprintable", i)
+		}
+	}
+}

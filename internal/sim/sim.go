@@ -1,0 +1,110 @@
+// Package sim is the top-level simulation engine: it assembles the cores,
+// the memory hierarchy and the functional memory image into a Machine, and
+// steps them cycle by cycle, deterministically (component tick order is
+// fixed; there is no wall-clock or random input anywhere in the simulator).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"invisispec/internal/config"
+	"invisispec/internal/core"
+	"invisispec/internal/isa"
+	"invisispec/internal/memsys"
+	"invisispec/internal/stats"
+)
+
+// ErrCycleBudget is returned when a run does not finish within its budget.
+var ErrCycleBudget = errors.New("sim: cycle budget exhausted")
+
+// Machine is one simulated system executing a set of per-core programs.
+type Machine struct {
+	Run   config.Run
+	Mem   *isa.Memory
+	Hier  *memsys.Hierarchy
+	Cores []*core.Core
+	Stats *stats.Machine
+
+	cycle uint64
+}
+
+// New builds a machine running progs[i] on core i. len(progs) must equal
+// the configured core count; every program's data image is loaded into the
+// shared functional memory.
+func New(run config.Run, progs []*isa.Program) (*Machine, error) {
+	if err := run.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(progs) != run.Machine.Cores {
+		return nil, fmt.Errorf("sim: %d programs for %d cores", len(progs), run.Machine.Cores)
+	}
+	st := stats.NewMachine(run.Machine.Cores)
+	mem := isa.NewMemory()
+	hier := memsys.New(run.Machine, st)
+	m := &Machine{Run: run, Mem: mem, Hier: hier, Stats: st}
+	for i, p := range progs {
+		mem.LoadProgramImage(p)
+		m.Cores = append(m.Cores, core.New(i, run, p, mem, hier, &st.Cores[i]))
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on configuration errors (for tests/examples
+// with static configs).
+func MustNew(run config.Run, progs []*isa.Program) *Machine {
+	m, err := New(run, progs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Cycle returns the current cycle.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Step advances the machine one cycle: hierarchy first (delivering this
+// cycle's responses), then each core in index order.
+func (m *Machine) Step() {
+	m.cycle++
+	m.Hier.Tick(m.cycle)
+	for _, c := range m.Cores {
+		c.Tick(m.cycle)
+	}
+	m.Stats.Cycles = m.cycle
+}
+
+// Done reports whether every core has halted and all buffered work drained.
+func (m *Machine) Done() bool {
+	for _, c := range m.Cores {
+		if c.PendingWork() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunToCompletion steps until every core halts (and write buffers drain) or
+// the cycle budget runs out.
+func (m *Machine) RunToCompletion(maxCycles uint64) error {
+	for !m.Done() {
+		if m.cycle >= maxCycles {
+			return ErrCycleBudget
+		}
+		m.Step()
+	}
+	return nil
+}
+
+// RunInstructions steps until the machine has retired at least n
+// instructions in total, every core halted, or the cycle budget ran out.
+// It is the fixed-work mode the figure harnesses use.
+func (m *Machine) RunInstructions(n uint64, maxCycles uint64) error {
+	for m.Stats.TotalRetired() < n && !m.Done() {
+		if m.cycle >= maxCycles {
+			return ErrCycleBudget
+		}
+		m.Step()
+	}
+	return nil
+}

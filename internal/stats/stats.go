@@ -1,0 +1,258 @@
+// Package stats collects the simulation counters the paper reports:
+// execution cycles, network traffic split by cause (Figures 6 and 8),
+// squash counts broken down by reason, exposure/validation mix,
+// and speculative-buffer hit rates (Table VI).
+package stats
+
+import "fmt"
+
+// SquashReason classifies why a pipeline squash happened (Table I sources).
+type SquashReason int
+
+// Squash reasons.
+const (
+	SquashBranch      SquashReason = iota // control-flow misprediction
+	SquashMemDep                          // address alias between a load and an earlier store
+	SquashConsistency                     // memory consistency violation (invalidation/eviction)
+	SquashEarly                           // InvisiSpec early squash of a V-state USL on invalidation (§V-C2)
+	SquashValidation                      // InvisiSpec validation failure
+	SquashException                       // exception at retirement
+	SquashInterrupt                       // (timer) interrupt
+	NumSquashReasons
+)
+
+// String names the squash reason.
+func (r SquashReason) String() string {
+	switch r {
+	case SquashBranch:
+		return "branch-mispredict"
+	case SquashMemDep:
+		return "memory-dependence"
+	case SquashConsistency:
+		return "consistency-violation"
+	case SquashEarly:
+		return "early-squash"
+	case SquashValidation:
+		return "validation-failure"
+	case SquashException:
+		return "exception"
+	case SquashInterrupt:
+		return "interrupt"
+	}
+	return fmt.Sprintf("SquashReason(%d)", int(r))
+}
+
+// TrafficClass classifies NoC bytes by what caused them (Figures 6, 8).
+type TrafficClass int
+
+// Traffic classes.
+const (
+	TrafficNormal    TrafficClass = iota // demand accesses by safe loads/stores
+	TrafficSpecLoad                      // Spec-GetS transactions by USLs
+	TrafficValExp                        // validation and exposure transactions
+	TrafficWriteback                     // dirty evictions and recalls
+	TrafficFetch                         // instruction fetch
+	NumTrafficClasses
+)
+
+// String names the traffic class.
+func (c TrafficClass) String() string {
+	switch c {
+	case TrafficNormal:
+		return "normal"
+	case TrafficSpecLoad:
+		return "spec-load"
+	case TrafficValExp:
+		return "expose-validate"
+	case TrafficWriteback:
+		return "writeback"
+	case TrafficFetch:
+		return "fetch"
+	}
+	return fmt.Sprintf("TrafficClass(%d)", int(c))
+}
+
+// Core aggregates the counters of one simulated core.
+type Core struct {
+	Cycles   uint64
+	Retired  uint64
+	Fetched  uint64
+	Squashed uint64 // instructions squashed
+
+	Squashes [NumSquashReasons]uint64 // squash events by reason
+
+	CondBranches  uint64
+	Mispredicts   uint64
+	LoadsRetired  uint64
+	StoresRetired uint64
+
+	// InvisiSpec.
+	USLsIssued          uint64
+	Exposures           uint64
+	ValidationsL1Hit    uint64
+	ValidationsL1Miss   uint64
+	ValidationFailures  uint64
+	ValidationStall     uint64 // cycles retirement stalled on a validation
+	SBReuseHits         uint64 // USLs served from an earlier USL's SB line
+	SBReuseMisses       uint64
+	LLCSBHits           uint64 // validations/exposures served by the LLC-SB
+	LLCSBMisses         uint64
+	InterruptsDelayed   uint64 // interrupts deferred by the §VI-D window
+	PrefetchesInvisible uint64
+
+	// TLB.
+	TLBHits         uint64
+	TLBMisses       uint64
+	TLBWalksDelayed uint64 // walks deferred to the visibility point
+
+	// Memory system, core-side view.
+	L1DHits   uint64
+	L1DMisses uint64
+}
+
+// Validations returns the total validation count.
+func (c *Core) Validations() uint64 { return c.ValidationsL1Hit + c.ValidationsL1Miss }
+
+// IPC returns retired instructions per cycle.
+func (c *Core) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Retired) / float64(c.Cycles)
+}
+
+// MispredictRate returns conditional branch mispredictions per prediction.
+func (c *Core) MispredictRate() float64 {
+	if c.CondBranches == 0 {
+		return 0
+	}
+	return float64(c.Mispredicts) / float64(c.CondBranches)
+}
+
+// SquashesPerMInst returns squash events per million retired instructions.
+func (c *Core) SquashesPerMInst() float64 {
+	if c.Retired == 0 {
+		return 0
+	}
+	var total uint64
+	for _, v := range c.Squashes {
+		total += v
+	}
+	return float64(total) * 1e6 / float64(c.Retired)
+}
+
+// Machine aggregates counters across cores plus shared-resource counters.
+type Machine struct {
+	Cores []Core
+	// TrafficBytes counts NoC + DRAM-channel bytes by class.
+	TrafficBytes [NumTrafficClasses]uint64
+	// Cycles is the global cycle count when the run finished.
+	Cycles uint64
+	// DRAMReads/DRAMWrites count main-memory line transfers.
+	DRAMReads  uint64
+	DRAMWrites uint64
+	// LLCHits/LLCMisses count demand accesses at the shared cache.
+	LLCHits   uint64
+	LLCMisses uint64
+}
+
+// NewMachine returns zeroed stats for n cores.
+func NewMachine(n int) *Machine {
+	return &Machine{Cores: make([]Core, n)}
+}
+
+// TotalTraffic returns all bytes moved.
+func (m *Machine) TotalTraffic() uint64 {
+	var t uint64
+	for _, v := range m.TrafficBytes {
+		t += v
+	}
+	return t
+}
+
+// TotalRetired sums retired instructions across cores.
+func (m *Machine) TotalRetired() uint64 {
+	var t uint64
+	for i := range m.Cores {
+		t += m.Cores[i].Retired
+	}
+	return t
+}
+
+// AddTraffic records nbytes of traffic of the given class.
+func (m *Machine) AddTraffic(class TrafficClass, nbytes uint64) {
+	m.TrafficBytes[class] += nbytes
+}
+
+// Sum returns the element-wise sum of per-core counters, useful for
+// machine-wide rates in Table VI.
+func (m *Machine) Sum() Core {
+	var s Core
+	for i := range m.Cores {
+		c := &m.Cores[i]
+		s.Cycles += c.Cycles
+		s.Retired += c.Retired
+		s.Fetched += c.Fetched
+		s.Squashed += c.Squashed
+		for r := 0; r < int(NumSquashReasons); r++ {
+			s.Squashes[r] += c.Squashes[r]
+		}
+		s.CondBranches += c.CondBranches
+		s.Mispredicts += c.Mispredicts
+		s.LoadsRetired += c.LoadsRetired
+		s.StoresRetired += c.StoresRetired
+		s.USLsIssued += c.USLsIssued
+		s.Exposures += c.Exposures
+		s.ValidationsL1Hit += c.ValidationsL1Hit
+		s.ValidationsL1Miss += c.ValidationsL1Miss
+		s.ValidationFailures += c.ValidationFailures
+		s.ValidationStall += c.ValidationStall
+		s.SBReuseHits += c.SBReuseHits
+		s.SBReuseMisses += c.SBReuseMisses
+		s.LLCSBHits += c.LLCSBHits
+		s.LLCSBMisses += c.LLCSBMisses
+		s.InterruptsDelayed += c.InterruptsDelayed
+		s.PrefetchesInvisible += c.PrefetchesInvisible
+		s.TLBHits += c.TLBHits
+		s.TLBMisses += c.TLBMisses
+		s.TLBWalksDelayed += c.TLBWalksDelayed
+		s.L1DHits += c.L1DHits
+		s.L1DMisses += c.L1DMisses
+	}
+	return s
+}
+
+// Sub returns c minus prev, element-wise: the counters accumulated between
+// two snapshots (used to exclude warmup from measurements).
+func (c Core) Sub(prev Core) Core {
+	r := c
+	r.Cycles -= prev.Cycles
+	r.Retired -= prev.Retired
+	r.Fetched -= prev.Fetched
+	r.Squashed -= prev.Squashed
+	for i := range r.Squashes {
+		r.Squashes[i] -= prev.Squashes[i]
+	}
+	r.CondBranches -= prev.CondBranches
+	r.Mispredicts -= prev.Mispredicts
+	r.LoadsRetired -= prev.LoadsRetired
+	r.StoresRetired -= prev.StoresRetired
+	r.USLsIssued -= prev.USLsIssued
+	r.Exposures -= prev.Exposures
+	r.ValidationsL1Hit -= prev.ValidationsL1Hit
+	r.ValidationsL1Miss -= prev.ValidationsL1Miss
+	r.ValidationFailures -= prev.ValidationFailures
+	r.ValidationStall -= prev.ValidationStall
+	r.SBReuseHits -= prev.SBReuseHits
+	r.SBReuseMisses -= prev.SBReuseMisses
+	r.LLCSBHits -= prev.LLCSBHits
+	r.LLCSBMisses -= prev.LLCSBMisses
+	r.InterruptsDelayed -= prev.InterruptsDelayed
+	r.PrefetchesInvisible -= prev.PrefetchesInvisible
+	r.TLBHits -= prev.TLBHits
+	r.TLBMisses -= prev.TLBMisses
+	r.TLBWalksDelayed -= prev.TLBWalksDelayed
+	r.L1DHits -= prev.L1DHits
+	r.L1DMisses -= prev.L1DMisses
+	return r
+}

@@ -1,0 +1,80 @@
+package stats
+
+import "testing"
+
+func TestCoreRates(t *testing.T) {
+	c := Core{Cycles: 1000, Retired: 2000, CondBranches: 100, Mispredicts: 7}
+	if got := c.IPC(); got != 2.0 {
+		t.Errorf("IPC = %f", got)
+	}
+	if got := c.MispredictRate(); got != 0.07 {
+		t.Errorf("mispredict rate = %f", got)
+	}
+	c.Squashes[SquashBranch] = 3
+	c.Squashes[SquashValidation] = 1
+	if got := c.SquashesPerMInst(); got != 2000 {
+		t.Errorf("squashes/Minst = %f", got)
+	}
+	var zero Core
+	if zero.IPC() != 0 || zero.MispredictRate() != 0 || zero.SquashesPerMInst() != 0 {
+		t.Error("zero-core rates must be zero, not NaN")
+	}
+}
+
+func TestValidationsSum(t *testing.T) {
+	c := Core{ValidationsL1Hit: 3, ValidationsL1Miss: 4}
+	if c.Validations() != 7 {
+		t.Errorf("Validations = %d", c.Validations())
+	}
+}
+
+func TestMachineAggregation(t *testing.T) {
+	m := NewMachine(2)
+	m.Cores[0] = Core{Retired: 10, Exposures: 1, TLBMisses: 2}
+	m.Cores[1] = Core{Retired: 32, Exposures: 4, TLBMisses: 8}
+	if m.TotalRetired() != 42 {
+		t.Errorf("TotalRetired = %d", m.TotalRetired())
+	}
+	s := m.Sum()
+	if s.Retired != 42 || s.Exposures != 5 || s.TLBMisses != 10 {
+		t.Errorf("Sum = %+v", s)
+	}
+	m.AddTraffic(TrafficSpecLoad, 100)
+	m.AddTraffic(TrafficNormal, 11)
+	if m.TotalTraffic() != 111 {
+		t.Errorf("TotalTraffic = %d", m.TotalTraffic())
+	}
+}
+
+func TestSubDeltas(t *testing.T) {
+	now := Core{Cycles: 100, Retired: 50, Mispredicts: 9, LLCSBHits: 4}
+	now.Squashes[SquashEarly] = 6
+	prev := Core{Cycles: 40, Retired: 20, Mispredicts: 2, LLCSBHits: 1}
+	prev.Squashes[SquashEarly] = 2
+	d := now.Sub(prev)
+	if d.Cycles != 60 || d.Retired != 30 || d.Mispredicts != 7 || d.LLCSBHits != 3 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if d.Squashes[SquashEarly] != 4 {
+		t.Errorf("Sub squashes = %d", d.Squashes[SquashEarly])
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for r := SquashReason(0); r < NumSquashReasons; r++ {
+		if r.String() == "" {
+			t.Errorf("squash reason %d unprintable", r)
+		}
+	}
+	if SquashReason(99).String() == "" {
+		t.Error("out-of-range squash reason unprintable")
+	}
+	for c := TrafficClass(0); c < NumTrafficClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("traffic class %d unprintable", c)
+		}
+	}
+	if TrafficClass(99).String() == "" {
+		t.Error("out-of-range traffic class unprintable")
+	}
+}

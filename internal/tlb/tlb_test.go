@@ -1,0 +1,86 @@
+package tlb
+
+import (
+	"testing"
+
+	"invisispec/internal/isa"
+)
+
+func TestAccessMissThenHit(t *testing.T) {
+	tl := New(4, 40)
+	if got := tl.Access(0x1234); got != 40 {
+		t.Fatalf("cold access latency %d, want 40", got)
+	}
+	if got := tl.Access(0x1234 + 8); got != 0 { // same page
+		t.Fatalf("warm access latency %d, want 0", got)
+	}
+	if tl.Hits != 1 || tl.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", tl.Hits, tl.Misses)
+	}
+}
+
+func TestProbeLeavesNoTrace(t *testing.T) {
+	tl := New(2, 40)
+	tl.Access(0 * isa.PageSize)
+	tl.Access(1 * isa.PageSize) // MRU order: 1, 0
+	before := tl.MRUOrder()
+	if !tl.Probe(0) {
+		t.Fatal("probe missed resident page")
+	}
+	if tl.Probe(5 * isa.PageSize) {
+		t.Fatal("probe hit absent page")
+	}
+	after := tl.MRUOrder()
+	if len(before) != len(after) {
+		t.Fatal("probe changed occupancy")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("probe changed LRU order %v -> %v", before, after)
+		}
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	tl := New(2, 40)
+	tl.Access(0 * isa.PageSize)
+	tl.Access(1 * isa.PageSize)
+	tl.Access(0 * isa.PageSize)     // 0 is MRU
+	tl.Access(2 * isa.PageSize)     // evicts page 1
+	if tl.Probe(1 * isa.PageSize) { //
+		t.Fatal("page 1 should have been evicted")
+	}
+	if !tl.Probe(0) || !tl.Probe(2*isa.PageSize) {
+		t.Fatal("resident pages missing")
+	}
+}
+
+func TestDeferredTouchAndInsert(t *testing.T) {
+	tl := New(2, 40)
+	tl.Access(0 * isa.PageSize)
+	tl.Access(1 * isa.PageSize)
+	// Deferred hit update: page 0 promoted at visibility point.
+	tl.Touch(0)
+	tl.Insert(2 * isa.PageSize) // deferred walk fill evicts LRU (page 1)
+	if tl.Probe(1 * isa.PageSize) {
+		t.Fatal("deferred insert evicted the wrong page")
+	}
+	if !tl.Probe(0) {
+		t.Fatal("touched page evicted")
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(isa.PageSize-1) != 0 || PageOf(isa.PageSize) != 1 {
+		t.Fatal("PageOf boundary wrong")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, ...) did not panic")
+		}
+	}()
+	New(0, 40)
+}

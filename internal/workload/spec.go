@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"invisispec/internal/isa"
+)
+
+// Pattern selects a kernel's dominant memory access pattern.
+type Pattern int
+
+// Access patterns.
+const (
+	PatternStream  Pattern = iota // unit-stride sweep (libquantum/lbm-like)
+	PatternRandom                 // LCG-indexed random accesses (mcf-like)
+	PatternChase                  // dependent pointer chasing (mcf/omnetpp-like)
+	PatternStencil                // 3-point stencil with stores (zeusmp-like)
+	PatternCompute                // register-dominated compute (namd-like)
+)
+
+// SpecProfile parameterises one synthetic SPEC2006-like kernel along the
+// axes that drive the paper's per-application behaviour: footprint (cache
+// MPKI), access pattern, branch entropy (misprediction → squashed-USL
+// traffic), TLB pressure (omnetpp's delayed walks), store ratio, and
+// compute intensity.
+type SpecProfile struct {
+	Name          string
+	WorkingSet    int // bytes
+	Pattern       Pattern
+	BranchEntropy float64 // fraction of iterations with a data-dependent branch
+	StoreRatio    float64 // fraction of iterations that store
+	TLBHeavy      bool    // page-crossing stride to stress the D-TLB
+	ComputeDepth  int     // dependent ALU ops per iteration
+}
+
+// specProfiles lists the 23 applications of the paper's Figure 4, tuned so
+// each lands in the behavioural regime the paper reports (e.g. sjeng-like
+// branchy code, libquantum/GemsFDTD-like streaming with ~30 L1 misses per
+// kilo-instruction, omnetpp-like TLB pressure).
+var specProfiles = []SpecProfile{
+	{Name: "bzip2", WorkingSet: 64 << 10, Pattern: PatternRandom, BranchEntropy: 0.35, StoreRatio: 0.3, ComputeDepth: 4},
+	{Name: "mcf", WorkingSet: 8 << 20, Pattern: PatternChase, BranchEntropy: 0.25, StoreRatio: 0.1, ComputeDepth: 2},
+	{Name: "gobmk", WorkingSet: 32 << 10, Pattern: PatternRandom, BranchEntropy: 0.55, StoreRatio: 0.2, ComputeDepth: 3},
+	{Name: "hmmer", WorkingSet: 32 << 10, Pattern: PatternStream, BranchEntropy: 0.05, StoreRatio: 0.3, ComputeDepth: 6},
+	{Name: "sjeng", WorkingSet: 32 << 10, Pattern: PatternRandom, BranchEntropy: 0.7, StoreRatio: 0.15, ComputeDepth: 3},
+	{Name: "libquantum", WorkingSet: 8 << 20, Pattern: PatternStream, BranchEntropy: 0.02, StoreRatio: 0.4, ComputeDepth: 16},
+	{Name: "h264ref", WorkingSet: 64 << 10, Pattern: PatternStream, BranchEntropy: 0.25, StoreRatio: 0.3, ComputeDepth: 5},
+	{Name: "omnetpp", WorkingSet: 8 << 20, Pattern: PatternChase, BranchEntropy: 0.3, StoreRatio: 0.2, TLBHeavy: true, ComputeDepth: 2},
+	{Name: "astar", WorkingSet: 512 << 10, Pattern: PatternChase, BranchEntropy: 0.4, StoreRatio: 0.15, ComputeDepth: 2},
+	{Name: "bwaves", WorkingSet: 8 << 20, Pattern: PatternStream, BranchEntropy: 0.02, StoreRatio: 0.35, ComputeDepth: 14},
+	{Name: "gamess", WorkingSet: 32 << 10, Pattern: PatternCompute, BranchEntropy: 0.08, StoreRatio: 0.1, ComputeDepth: 8},
+	{Name: "milc", WorkingSet: 1 << 20, Pattern: PatternStream, BranchEntropy: 0.05, StoreRatio: 0.3, ComputeDepth: 12},
+	{Name: "zeusmp", WorkingSet: 1 << 20, Pattern: PatternStencil, BranchEntropy: 0.05, StoreRatio: 0.4, ComputeDepth: 12},
+	{Name: "gromacs", WorkingSet: 32 << 10, Pattern: PatternCompute, BranchEntropy: 0.1, StoreRatio: 0.2, ComputeDepth: 7},
+	{Name: "cactusADM", WorkingSet: 1 << 20, Pattern: PatternStencil, BranchEntropy: 0.03, StoreRatio: 0.4, ComputeDepth: 12},
+	{Name: "leslie3d", WorkingSet: 8 << 20, Pattern: PatternStencil, BranchEntropy: 0.03, StoreRatio: 0.4, ComputeDepth: 14},
+	{Name: "namd", WorkingSet: 32 << 10, Pattern: PatternCompute, BranchEntropy: 0.06, StoreRatio: 0.15, ComputeDepth: 9},
+	{Name: "soplex", WorkingSet: 2 << 20, Pattern: PatternChase, BranchEntropy: 0.15, StoreRatio: 0.25, ComputeDepth: 3},
+	{Name: "calculix", WorkingSet: 32 << 10, Pattern: PatternCompute, BranchEntropy: 0.1, StoreRatio: 0.2, ComputeDepth: 7},
+	{Name: "GemsFDTD", WorkingSet: 8 << 20, Pattern: PatternStream, BranchEntropy: 0.02, StoreRatio: 0.45, ComputeDepth: 16},
+	{Name: "tonto", WorkingSet: 32 << 10, Pattern: PatternCompute, BranchEntropy: 0.12, StoreRatio: 0.2, ComputeDepth: 6},
+	{Name: "lbm", WorkingSet: 8 << 20, Pattern: PatternStream, BranchEntropy: 0.01, StoreRatio: 0.5, ComputeDepth: 16},
+	{Name: "sphinx3", WorkingSet: 64 << 10, Pattern: PatternRandom, BranchEntropy: 0.2, StoreRatio: 0.15, ComputeDepth: 4},
+}
+
+// SPECNames returns the 23 kernel names in the paper's Figure 4 order.
+func SPECNames() []string {
+	names := make([]string, len(specProfiles))
+	for i, p := range specProfiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// SPECProfile returns the profile for name.
+func SPECProfile(name string) (SpecProfile, error) {
+	for _, p := range specProfiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return SpecProfile{}, fmt.Errorf("workload: unknown SPEC kernel %q", name)
+}
+
+// SPEC assembles the kernel for name. The kernel loops indefinitely; the
+// harness runs it for a fixed instruction budget (the paper simulates a
+// fixed 1B-instruction window the same way).
+func SPEC(name string) (*isa.Program, error) {
+	p, err := SPECProfile(name)
+	if err != nil {
+		return nil, err
+	}
+	return buildSpecKernel(p), nil
+}
+
+// MustSPEC is SPEC that panics on unknown names.
+func MustSPEC(name string) *isa.Program {
+	prog, err := SPEC(name)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Register conventions for generated kernels.
+const (
+	kRegBase  = 20 // working-set base pointer
+	kRegIdx   = 1  // current index/pointer
+	kRegAddr  = 2  // effective address
+	kRegVal   = 3  // loaded value
+	kRegAcc   = 4  // accumulator
+	kRegLCG   = 5  // in-register pseudo-random state
+	kRegTmp   = 6
+	kRegTmp2  = 7
+	kRegMask  = 8
+	kRegConst = 9 // LCG multiplier
+	kRegIter  = 10
+)
+
+const specDataBase = 0x1000000
+
+// buildSpecKernel emits the kernel loop for a profile.
+func buildSpecKernel(p SpecProfile) *isa.Program {
+	b := isa.NewBuilder("spec-" + p.Name)
+	rng := rand.New(rand.NewSource(int64(len(p.Name))*7919 + int64(p.WorkingSet)))
+
+	ws := uint64(p.WorkingSet)
+	mask := ws - 1 // profiles use power-of-two working sets
+	if ws&(ws-1) != 0 {
+		panic("workload: working set must be a power of two")
+	}
+
+	if p.Pattern == PatternChase {
+		// Initialise a pointer-chase cycle: a random permutation over the
+		// 64-bit slots, one pointer per cache line for maximal misses.
+		slots := int(ws / 64)
+		perm := rng.Perm(slots)
+		image := make([]byte, ws)
+		for i := 0; i < slots; i++ {
+			next := specDataBase + uint64(perm[(i+1)%slots])*64
+			off := perm[i] * 64
+			for j := 0; j < 8; j++ {
+				image[off+j] = byte(next >> (8 * j))
+			}
+		}
+		b.Data(specDataBase, image)
+	}
+
+	b.Li(kRegBase, specDataBase).
+		Li(kRegIdx, specDataBase).
+		Li(kRegAcc, 0).
+		Li(kRegLCG, uint64(rng.Int63())|1).
+		Li(kRegConst, 6364136223846793005).
+		Li(kRegMask, mask)
+
+	stride := uint64(64)
+	if p.TLBHeavy {
+		stride = isa.PageSize + 64 // touch a new page almost every access
+	}
+
+	b.Label("loop")
+	// Advance the iteration counter and the in-register LCG (branch fodder
+	// and random indices).
+	b.AddI(kRegIter, kRegIter, 1).
+		Mul(kRegLCG, kRegLCG, kRegConst).
+		AddI(kRegLCG, kRegLCG, 1442695040888963407)
+
+	switch p.Pattern {
+	case PatternStream, PatternStencil:
+		// Two-line unrolled sweep: four loads per loop branch, the
+		// load-to-branch ratio real streaming code has.
+		b.AddI(kRegIdx, kRegIdx, int64(2*stride)).
+			Sub(kRegAddr, kRegIdx, kRegBase).
+			And(kRegAddr, kRegAddr, kRegMask).
+			Add(kRegAddr, kRegAddr, kRegBase).
+			Mov(kRegIdx, kRegAddr).
+			LdSafe(8, kRegVal, kRegAddr, 0). // mask-bounded: provably safe
+			LdSafe(8, kRegTmp, kRegAddr, 8).
+			Add(kRegVal, kRegVal, kRegTmp).
+			LdSafe(8, kRegTmp, kRegAddr, int64(stride)).
+			Add(kRegVal, kRegVal, kRegTmp).
+			LdSafe(8, kRegTmp, kRegAddr, int64(stride)+8).
+			Add(kRegVal, kRegVal, kRegTmp)
+		if p.Pattern == PatternStencil {
+			b.LdSafe(8, kRegTmp, kRegAddr, 64).
+				Add(kRegVal, kRegVal, kRegTmp)
+		}
+	case PatternRandom:
+		b.ShrI(kRegTmp, kRegLCG, 17).
+			And(kRegTmp, kRegTmp, kRegMask).
+			AndI(kRegTmp, kRegTmp, ^int64(7)). // 8-byte align
+			Add(kRegAddr, kRegBase, kRegTmp).
+			LdSafe(8, kRegVal, kRegAddr, 0). // mask-bounded: provably safe
+			LdSafe(8, kRegTmp, kRegAddr, 8).
+			Add(kRegVal, kRegVal, kRegTmp).
+			ShrI(kRegTmp, kRegLCG, 31).
+			And(kRegTmp, kRegTmp, kRegMask).
+			AndI(kRegTmp, kRegTmp, ^int64(7)).
+			Add(kRegTmp, kRegBase, kRegTmp).
+			LdSafe(8, kRegTmp, kRegTmp, 0).
+			Add(kRegVal, kRegVal, kRegTmp)
+	case PatternChase:
+		b.Ld(8, kRegIdx, kRegIdx, 0). // serialized dependent loads
+						Mov(kRegAddr, kRegIdx).
+						Mov(kRegVal, kRegIdx)
+	case PatternCompute:
+		// Loads from a small, hot region.
+		b.ShrI(kRegTmp, kRegLCG, 23).
+			And(kRegTmp, kRegTmp, kRegMask).
+			AndI(kRegTmp, kRegTmp, ^int64(7)).
+			Add(kRegAddr, kRegBase, kRegTmp).
+			LdSafe(8, kRegVal, kRegAddr, 0). // mask-bounded: provably safe
+			LdSafe(8, kRegTmp, kRegAddr, 8).
+			Add(kRegVal, kRegVal, kRegTmp).
+			LdSafe(8, kRegTmp, kRegAddr, 16).
+			Add(kRegVal, kRegVal, kRegTmp)
+	}
+
+	// Data-dependent branch with the profile's entropy. The condition mixes
+	// the LOADED value with LCG bits, so it is unpredictable AND resolves
+	// only when the load returns — the speculation window real programs
+	// have, and the one that makes loads behind it USLs under InvisiSpec.
+	if p.BranchEntropy > 0 {
+		den := int64(1)
+		for float64(1)/float64(den) > p.BranchEntropy && den < 64 {
+			den *= 2
+		}
+		lbl := "taken"
+		b.ShrI(kRegTmp2, kRegLCG, 33).
+			Add(kRegTmp2, kRegTmp2, kRegVal).
+			AndI(kRegTmp2, kRegTmp2, den-1).
+			Bne(kRegTmp2, 0, lbl).
+			Xor(kRegAcc, kRegAcc, kRegVal).
+			AddI(kRegAcc, kRegAcc, 13)
+		b.Label(lbl).
+			Add(kRegAcc, kRegAcc, kRegVal)
+	} else {
+		b.Add(kRegAcc, kRegAcc, kRegVal)
+	}
+
+	// Dependent compute chain.
+	for i := 0; i < p.ComputeDepth; i++ {
+		switch i % 3 {
+		case 0:
+			b.Xor(kRegAcc, kRegAcc, kRegLCG)
+		case 1:
+			b.ShrI(kRegTmp, kRegAcc, 7).Add(kRegAcc, kRegAcc, kRegTmp)
+		default:
+			b.Mul(kRegAcc, kRegAcc, kRegConst)
+		}
+	}
+
+	// Store with the profile's ratio, to the line just loaded. Store-heavy
+	// kernels store unconditionally (real streaming code is branch-poor);
+	// sparse stores use a periodic (learnable) decision so store density
+	// never masquerades as branch entropy.
+	switch {
+	case p.StoreRatio >= 0.33:
+		b.St(8, kRegAddr, 8, kRegAcc)
+	case p.StoreRatio > 0:
+		den := int64(1)
+		for float64(1)/float64(den) > p.StoreRatio && den < 64 {
+			den *= 2
+		}
+		b.AndI(kRegTmp2, kRegIter, den-1).
+			Bne(kRegTmp2, 0, "nostore").
+			St(8, kRegAddr, 8, kRegAcc)
+		b.Label("nostore")
+	}
+
+	b.Jmp("loop")
+	return b.MustBuild()
+}
