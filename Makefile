@@ -1,0 +1,27 @@
+# Build/verification entry points. The tier-1 gate is `make check`:
+# build + vet + full test suite, then the suite again under the race
+# detector (the simulator is single-goroutine by design; the race run
+# guards the test harnesses and any future parallelism).
+
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -6,6 +6,7 @@
 //
 //	invisisim -workload sjeng -defense IS-Fu -consistency TSO
 //	invisisim -workload canneal -cores 8 -defense Base
+//	invisisim -workload mcf -defense IS-Sp -check -faultseed 7
 //	invisisim -print-config
 package main
 
@@ -18,6 +19,7 @@ import (
 	"invisispec/internal/config"
 	"invisispec/internal/core"
 	"invisispec/internal/harness"
+	"invisispec/internal/invariant"
 	"invisispec/internal/isa"
 	"invisispec/internal/sim"
 	"invisispec/internal/stats"
@@ -35,6 +37,9 @@ func main() {
 		printConfig = flag.Bool("print-config", false, "print the Table IV machine parameters and exit")
 		traceN      = flag.Int("trace", 0, "print the first N committed instructions of core 0")
 		jsonOut     = flag.Bool("json", false, "emit the measured counters as JSON instead of text")
+		doCheck     = flag.Bool("check", false, "run the hardening layer's invariant checkers and forward-progress watchdog during the run")
+		checkEvery  = flag.Uint64("checkevery", 4096, "cycles between invariant sweeps (with -check)")
+		faultSeed   = flag.Int64("faultseed", 0, "non-zero: inject deterministic NoC/DRAM timing faults with this seed")
 	)
 	flag.Parse()
 
@@ -67,14 +72,21 @@ func main() {
 	}
 
 	if *traceN > 0 {
-		check(traceRun(*name, parsec, d, cm, *traceN))
+		check(traceRun(*name, parsec, d, cm, *traceN, *doCheck, *checkEvery, *faultSeed))
 		return
+	}
+	var opts []harness.Option
+	if *doCheck {
+		opts = append(opts, harness.WithChecking(invariant.Options{Interval: *checkEvery}))
+	}
+	if *faultSeed != 0 {
+		opts = append(opts, harness.WithFaultSeed(*faultSeed))
 	}
 	var r harness.Result
 	if parsec {
-		r, err = harness.MeasurePARSEC(*name, d, cm, *warmup, *measure)
+		r, err = harness.MeasurePARSEC(*name, d, cm, *warmup, *measure, opts...)
 	} else {
-		r, err = harness.MeasureSPEC(*name, d, cm, *warmup, *measure)
+		r, err = harness.MeasureSPEC(*name, d, cm, *warmup, *measure, opts...)
 	}
 	check(err)
 	if *jsonOut {
@@ -103,8 +115,9 @@ func main() {
 }
 
 // traceRun executes the workload printing core 0's first n committed
-// instructions — a quick way to see the architectural execution.
-func traceRun(name string, parsec bool, d config.Defense, cm config.Consistency, n int) error {
+// instructions — a quick way to see the architectural execution. The
+// hardening flags apply here too (a violation aborts the trace).
+func traceRun(name string, parsec bool, d config.Defense, cm config.Consistency, n int, doCheck bool, checkEvery uint64, faultSeed int64) error {
 	cores := 1
 	var progs []*isa.Program
 	if parsec {
@@ -117,6 +130,15 @@ func traceRun(name string, parsec bool, d config.Defense, cm config.Consistency,
 	m, err := sim.New(run, progs)
 	if err != nil {
 		return err
+	}
+	if faultSeed != 0 {
+		m.SeedFaults(faultSeed)
+	}
+	stride := uint64(0)
+	if doCheck {
+		// The trace loop steps manually, so sweep at the registry's stride
+		// by hand (the run-loop helpers do this themselves).
+		stride = m.EnableChecking(invariant.Options{Interval: checkEvery}).Interval()
 	}
 	left := n
 	m.Cores[0].SetTracer(func(ev core.CommitEvent) {
@@ -135,6 +157,11 @@ func traceRun(name string, parsec bool, d config.Defense, cm config.Consistency,
 	})
 	for left > 0 && !m.Done() && m.Cycle() < 10_000_000 {
 		m.Step()
+		if stride > 0 && m.Cycle()%stride == 0 {
+			if err := m.CheckNow(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

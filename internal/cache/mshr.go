@@ -15,6 +15,11 @@ type MSHR struct {
 // MSHRFile is a small fully-associative file of MSHRs.
 type MSHRFile struct {
 	entries []MSHR
+	// Lifetime conservation counters: every successful Alloc must be paired
+	// with exactly one Free, so allocs - frees == InFlight() at all times.
+	// The invariant checker (internal/invariant) audits this.
+	allocs uint64
+	frees  uint64
 }
 
 // NewMSHRFile returns a file with n entries.
@@ -41,6 +46,7 @@ func (f *MSHRFile) Alloc(lineNum uint64) *MSHR {
 	for i := range f.entries {
 		if !f.entries[i].Valid {
 			f.entries[i] = MSHR{Valid: true, LineNum: lineNum}
+			f.allocs++
 			return &f.entries[i]
 		}
 	}
@@ -53,6 +59,7 @@ func (f *MSHRFile) Free(lineNum uint64) []uint64 {
 		if f.entries[i].Valid && f.entries[i].LineNum == lineNum {
 			w := f.entries[i].Waiters
 			f.entries[i] = MSHR{}
+			f.frees++
 			return w
 		}
 	}
@@ -72,6 +79,25 @@ func (f *MSHRFile) InFlight() int {
 
 // Full reports whether no entry is free.
 func (f *MSHRFile) Full() bool { return f.InFlight() == len(f.entries) }
+
+// Cap returns the file's entry count.
+func (f *MSHRFile) Cap() int { return len(f.entries) }
+
+// Accounting returns the lifetime allocate/release counters. Conservation
+// requires allocs - frees == InFlight().
+func (f *MSHRFile) Accounting() (allocs, frees uint64) { return f.allocs, f.frees }
+
+// Lines returns the line numbers of all live entries (for consistency
+// cross-checks against the cache controller's per-line bookkeeping).
+func (f *MSHRFile) Lines() []uint64 {
+	var out []uint64
+	for i := range f.entries {
+		if f.entries[i].Valid {
+			out = append(out, f.entries[i].LineNum)
+		}
+	}
+	return out
+}
 
 // DropWaiter removes a waiter token from whichever MSHR holds it (used when
 // the waiting request is squashed). The MSHR itself stays allocated: the

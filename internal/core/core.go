@@ -89,6 +89,12 @@ type Core struct {
 	// InvisiSpec interrupt-disable window (§VI-D).
 	intrDisabled bool
 
+	// Most recent squash, carried in watchdog/deadlock dumps (introspect.go).
+	lastSquash SquashInfo
+
+	// Mutation self-test hook: retirement disabled (introspect.go).
+	retireStalled bool
+
 	halted bool
 }
 

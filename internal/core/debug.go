@@ -26,5 +26,9 @@ func DebugDump(c *Core) string {
 		fmt.Fprintf(&b, "sq[%2d] seq=%d addr=%#x ready=%v data=%v\n", i, s.seq, s.addr, s.addrReady, s.dataReady)
 	}
 	fmt.Fprintf(&b, "wb=%d epoch=%d\n", len(c.wb), c.epoch)
+	if ls := c.lastSquash; ls.Happened {
+		fmt.Fprintf(&b, "last squash: cycle=%d reason=%s flushed=%d redirect=%d\n",
+			ls.Cycle, ls.Reason, ls.Flushed, ls.Redirect)
+	}
 	return b.String()
 }

@@ -11,6 +11,9 @@ import (
 // into the write buffer, and trains the branch predictor's direction tables
 // with retired outcomes only.
 func (c *Core) retire() {
+	if c.retireStalled {
+		return // mutation self-test hook (introspect.go)
+	}
 	if c.cfg.InterruptInterval > 0 && c.now > 0 &&
 		c.now%uint64(c.cfg.InterruptInterval) == 0 && c.robCnt > 0 {
 		if c.interruptsDisabled() {

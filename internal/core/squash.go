@@ -13,8 +13,14 @@ func (c *Core) squashFromLogical(L int, reason stats.SquashReason, redirect int,
 		L = 0
 	}
 	c.st.Squashes[reason]++
+	flushed := 0
 	if L < c.robCnt {
-		c.st.Squashed += uint64(c.robCnt - L)
+		flushed = c.robCnt - L
+		c.st.Squashed += uint64(flushed)
+	}
+	c.lastSquash = SquashInfo{
+		Happened: true, Cycle: c.now, Reason: reason.String(),
+		Flushed: flushed, Redirect: redirect,
 	}
 	if restoreBpred {
 		for i := L; i < c.robCnt; i++ {

@@ -1,0 +1,136 @@
+// Package faultinject perturbs the memory hierarchy's timing
+// deterministically, for robustness testing of the simulator itself.
+//
+// The simulator computes each transaction's timeline up front from component
+// latencies, so a "fault" cannot remove a message from the system without
+// losing the transaction. Instead, every fault is modelled as a pure delay
+// transformation on a completion cycle:
+//
+//   - extra NoC latency: a message's delivery slips by a bounded random
+//     number of cycles (congestion, a slow virtual channel);
+//   - a NoC drop: the message is lost and retransmitted after a timeout,
+//     with capped exponential backoff across consecutive drops;
+//   - DRAM timing noise: a access's data-ready cycle slips (refresh
+//     collisions, bank conflicts beyond the fixed model).
+//
+// Delays stretch but never reorder a transaction's internal timeline (the
+// perturbed cycle is never before the nominal one), so every protocol
+// invariant that holds without faults must keep holding with them — which is
+// exactly what internal/invariant verifies under the litmus and stress
+// suites.
+//
+// All randomness comes from a single seeded math/rand source consumed in
+// simulation order, so a given (config, workload, seed) triple perturbs
+// identically on every run: failures reproduce.
+//
+// Injector implements memsys.FaultInjector structurally; this package
+// imports nothing from the simulator.
+package faultinject
+
+import "math/rand"
+
+// Config sets fault rates and magnitudes. Probabilities are in [0,1] and
+// evaluated independently per message / access.
+type Config struct {
+	// NoCDelayProb is the chance a mesh message sees extra latency of
+	// 1..NoCDelayMax cycles (uniform).
+	NoCDelayProb float64
+	NoCDelayMax  uint64
+	// NoCDropProb is the chance a mesh message is dropped and retransmitted
+	// after a timeout of NoCRetryTimeout cycles. Consecutive drops of the
+	// same message double the timeout up to NoCMaxRetries times, after which
+	// the retransmission is assumed to get through (the backoff cap keeps
+	// worst-case added latency bounded and the simulation deadlock-free).
+	NoCDropProb     float64
+	NoCRetryTimeout uint64
+	NoCMaxRetries   int
+	// DRAMDelayProb is the chance a DRAM access's data-ready cycle slips by
+	// 1..DRAMDelayMax cycles (uniform).
+	DRAMDelayProb float64
+	DRAMDelayMax  uint64
+}
+
+// DefaultConfig returns moderate fault rates: frequent small NoC jitter,
+// occasional drops, and DRAM noise. Suitable for the litmus/stress suites.
+func DefaultConfig() Config {
+	return Config{
+		NoCDelayProb:    0.10,
+		NoCDelayMax:     20,
+		NoCDropProb:     0.01,
+		NoCRetryTimeout: 50,
+		NoCMaxRetries:   4,
+		DRAMDelayProb:   0.05,
+		DRAMDelayMax:    100,
+	}
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	NoCDelays  uint64
+	NoCDrops   uint64 // individual drop events (a message can drop repeatedly)
+	DRAMDelays uint64
+	// MaxSlip is the largest single perturbation applied, in cycles.
+	MaxSlip uint64
+}
+
+// Injector is a deterministic, seeded fault source. It is not safe for
+// concurrent use; the simulator is single-threaded per machine.
+type Injector struct {
+	cfg Config
+	rng *rand.Rand
+	st  Stats
+}
+
+// New returns an injector with DefaultConfig and the given seed.
+func New(seed int64) *Injector { return NewWithConfig(seed, DefaultConfig()) }
+
+// NewWithConfig returns an injector with explicit rates.
+func NewWithConfig(seed int64, cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats returns the fault counts so far.
+func (in *Injector) Stats() Stats { return in.st }
+
+func (in *Injector) note(slip uint64) {
+	if slip > in.st.MaxSlip {
+		in.st.MaxSlip = slip
+	}
+}
+
+// NoCDeliver perturbs a mesh message's delivery cycle. Part of the
+// memsys.FaultInjector contract: the result is never before deliver.
+func (in *Injector) NoCDeliver(now, deliver uint64) uint64 {
+	out := deliver
+	// Drop-and-retransmit with capped exponential backoff. Each retry is
+	// itself subject to dropping, up to the cap.
+	if in.cfg.NoCDropProb > 0 {
+		timeout := in.cfg.NoCRetryTimeout
+		for try := 0; try < in.cfg.NoCMaxRetries; try++ {
+			if in.rng.Float64() >= in.cfg.NoCDropProb {
+				break
+			}
+			in.st.NoCDrops++
+			out += timeout
+			timeout *= 2
+		}
+	}
+	if in.cfg.NoCDelayProb > 0 && in.rng.Float64() < in.cfg.NoCDelayProb {
+		in.st.NoCDelays++
+		out += 1 + uint64(in.rng.Int63n(int64(in.cfg.NoCDelayMax)))
+	}
+	in.note(out - deliver)
+	return out
+}
+
+// DRAMReady perturbs a DRAM access's data-ready cycle. Part of the
+// memsys.FaultInjector contract: the result is never before ready.
+func (in *Injector) DRAMReady(now, ready uint64) uint64 {
+	out := ready
+	if in.cfg.DRAMDelayProb > 0 && in.rng.Float64() < in.cfg.DRAMDelayProb {
+		in.st.DRAMDelays++
+		out += 1 + uint64(in.rng.Int63n(int64(in.cfg.DRAMDelayMax)))
+	}
+	in.note(out - ready)
+	return out
+}

@@ -10,11 +10,44 @@ import (
 	"fmt"
 
 	"invisispec/internal/config"
+	"invisispec/internal/invariant"
 	"invisispec/internal/isa"
 	"invisispec/internal/sim"
 	"invisispec/internal/stats"
 	"invisispec/internal/workload"
 )
+
+// Option tunes a Measure run (hardening hooks; the default is the plain
+// measurement the figures use).
+type Option func(*measureOpts)
+
+type measureOpts struct {
+	check     *invariant.Options
+	faultSeed *int64
+}
+
+// WithChecking enables the invariant checker and forward-progress watchdog
+// for both windows (see internal/invariant).
+func WithChecking(o invariant.Options) Option {
+	return func(m *measureOpts) { m.check = &o }
+}
+
+// WithFaultSeed enables deterministic fault injection (see
+// internal/faultinject) with the given seed.
+func WithFaultSeed(seed int64) Option {
+	return func(m *measureOpts) { m.faultSeed = &seed }
+}
+
+// testPanicHook, when non-nil, runs inside Measure's recovery scope. The
+// panic path exists to salvage diagnostics from simulator bugs, which tests
+// cannot trigger on demand; the hook makes the recovery itself testable.
+var testPanicHook func()
+
+// budgetPerInstruction sizes the cycle budget per requested instruction: no
+// workload in the suite exceeds a sustained CPI of 600, so exhaustion means
+// the simulator (not the workload) stopped making progress. Tests shrink it
+// to exercise the budget-error path.
+var budgetPerInstruction uint64 = 600
 
 // Result is one measured run.
 type Result struct {
@@ -47,22 +80,52 @@ func (r Result) TotalTraffic() uint64 {
 }
 
 // Measure runs progs under run for warmup+measure retired instructions and
-// returns the measured-window deltas.
-func Measure(run config.Run, name string, progs []*isa.Program, warmup, measure uint64) (Result, error) {
+// returns the measured-window deltas. Every error (and recovered panic) is
+// annotated with the workload name, the run configuration, and which window
+// — warmup or measure — it happened in, so a failing sweep pinpoints the
+// offending run without rerunning. A panic inside the simulator is converted
+// into an error carrying the cycle number and the full machine dump.
+func Measure(run config.Run, name string, progs []*isa.Program, warmup, measure uint64, opts ...Option) (res Result, err error) {
+	var mo measureOpts
+	for _, o := range opts {
+		o(&mo)
+	}
+	ctx := func(window string) string {
+		return fmt.Sprintf("%s [%v/%v] %s window", name, run.Defense, run.Consistency, window)
+	}
 	m, err := sim.New(run, progs)
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("%s [%v/%v] setup: %w", name, run.Defense, run.Consistency, err)
 	}
-	budget := (warmup + measure) * 600
+	if mo.faultSeed != nil {
+		m.SeedFaults(*mo.faultSeed)
+	}
+	if mo.check != nil {
+		m.EnableChecking(*mo.check)
+	}
+	window := "warmup"
+	defer func() {
+		if r := recover(); r != nil {
+			dump := invariant.Dump(&invariant.Target{
+				Cycle: m.Cycle(), Run: run, Cores: m.Cores, Hier: m.Hier,
+			})
+			err = fmt.Errorf("%s: panic at cycle %d: %v\n%s", ctx(window), m.Cycle(), r, dump)
+		}
+	}()
+	if testPanicHook != nil {
+		testPanicHook()
+	}
+	budget := (warmup + measure) * budgetPerInstruction
 	if err := m.RunInstructions(warmup, budget); err != nil {
-		return Result{}, fmt.Errorf("%s warmup: %w", name, err)
+		return Result{}, fmt.Errorf("%s: %w", ctx("warmup"), err)
 	}
 	startCycles := m.Cycle()
 	startCore := m.Stats.Sum()
 	startTraffic := m.Stats.TrafficBytes
 	startDRAM := m.Stats.DRAMReads
+	window = "measure"
 	if err := m.RunInstructions(warmup+measure, budget); err != nil {
-		return Result{}, fmt.Errorf("%s measure: %w", name, err)
+		return Result{}, fmt.Errorf("%s: %w", ctx("measure"), err)
 	}
 	r := Result{
 		Run:      run,
@@ -82,23 +145,23 @@ func Measure(run config.Run, name string, progs []*isa.Program, warmup, measure 
 }
 
 // MeasureSPEC measures one SPEC-like kernel on the 1-core machine.
-func MeasureSPEC(name string, d config.Defense, cm config.Consistency, warmup, measure uint64) (Result, error) {
+func MeasureSPEC(name string, d config.Defense, cm config.Consistency, warmup, measure uint64, opts ...Option) (Result, error) {
 	prog, err := workload.SPEC(name)
 	if err != nil {
 		return Result{}, err
 	}
 	run := config.Run{Machine: config.Default(1), Defense: d, Consistency: cm}
-	return Measure(run, name, []*isa.Program{prog}, warmup, measure)
+	return Measure(run, name, []*isa.Program{prog}, warmup, measure, opts...)
 }
 
 // MeasurePARSEC measures one PARSEC-like kernel on the 8-core machine.
-func MeasurePARSEC(name string, d config.Defense, cm config.Consistency, warmup, measure uint64) (Result, error) {
+func MeasurePARSEC(name string, d config.Defense, cm config.Consistency, warmup, measure uint64, opts ...Option) (Result, error) {
 	progs, err := workload.PARSEC(name, 8)
 	if err != nil {
 		return Result{}, err
 	}
 	run := config.Run{Machine: config.Default(8), Defense: d, Consistency: cm}
-	return Measure(run, name, progs, warmup, measure)
+	return Measure(run, name, progs, warmup, measure, opts...)
 }
 
 // Sweep runs one workload under all five defenses for a consistency model

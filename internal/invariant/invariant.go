@@ -1,0 +1,208 @@
+// Package invariant is the simulator's hardening layer: a registry of
+// pluggable checkers that a sim.Machine runs every N cycles to audit
+// structural, coherence, and InvisiSpec-specific invariants, plus a
+// forward-progress watchdog that converts silent protocol deadlocks into
+// typed errors carrying a full diagnostic dump.
+//
+// The checkers observe the machine only at cycle boundaries (between Step
+// calls), where the event-driven hierarchy is quiescent for the cycle. Some
+// coherence invariants have legitimate transient windows even then — a
+// directory transaction holding a line's bank lock, or an inclusive-LLC
+// recall whose L1 invalidations are still in flight — so those checks are
+// gated on Hierarchy.BankBusy and Hierarchy.RecallPending rather than
+// papered over with weaker assertions.
+//
+// The package deliberately has no dependency on internal/sim: the engine
+// fills in a Target and calls Check/Watch, so checkers stay testable in
+// isolation and the registry is reusable by any driver (harness, cmd, tests).
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"invisispec/internal/config"
+	"invisispec/internal/core"
+	"invisispec/internal/memsys"
+)
+
+// Sentinel errors, matched with errors.Is through the typed wrappers below.
+var (
+	// ErrViolation is wrapped by every ViolationError.
+	ErrViolation = errors.New("invariant violation")
+	// ErrDeadlock is wrapped by every DeadlockError.
+	ErrDeadlock = errors.New("forward progress lost")
+)
+
+// Target is the machine state a checker observes. The simulation engine
+// fills one in per check; checkers must treat it as read-only.
+type Target struct {
+	Cycle uint64
+	Run   config.Run
+	Cores []*core.Core
+	Hier  *memsys.Hierarchy
+}
+
+// Checker is one pluggable invariant: Check returns nil when the invariant
+// holds, or a descriptive error naming the first violation found.
+type Checker struct {
+	Name  string
+	Check func(t *Target) error
+}
+
+// ViolationError reports a failed invariant check with the machine state
+// attached.
+type ViolationError struct {
+	Checker string
+	Cycle   uint64
+	Err     error  // the checker's description of the violation
+	Dump    string // core + hierarchy diagnostic dump
+}
+
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("cycle %d: invariant %q violated: %v", e.Cycle, e.Checker, e.Err)
+}
+
+// Unwrap makes errors.Is(err, ErrViolation) true.
+func (e *ViolationError) Unwrap() error { return ErrViolation }
+
+// DeadlockError reports that no core retired an instruction for Window
+// cycles while the machine was not done.
+type DeadlockError struct {
+	Cycle   uint64
+	Window  uint64   // cycles since the last retirement anywhere
+	Retired []uint64 // per-core retired counts at detection
+	PCs     []int    // per-core fetch PCs at detection
+	Dump    string   // core + hierarchy diagnostic dump
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("cycle %d: no core retired an instruction in %d cycles (retired=%v pcs=%v)",
+		e.Cycle, e.Window, e.Retired, e.PCs)
+}
+
+// Unwrap makes errors.Is(err, ErrDeadlock) true.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+// Options tunes the registry.
+type Options struct {
+	// Interval is the cycle stride between full checker sweeps (default
+	// 4096). Checks scan L1-sized state only, so the default costs well
+	// under 1% of simulation time.
+	Interval uint64
+	// WatchdogK is the forward-progress window: if no core retires for K
+	// cycles while the machine is not done, Watch returns a DeadlockError
+	// (default 200000 — far above any legitimate stall in this simulator,
+	// including a full write-buffer drain behind a DRAM-bound miss chain
+	// under fault injection).
+	WatchdogK uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval == 0 {
+		o.Interval = 4096
+	}
+	if o.WatchdogK == 0 {
+		o.WatchdogK = 200000
+	}
+	return o
+}
+
+// Registry holds the active checkers and the watchdog state for one machine.
+type Registry struct {
+	opts     Options
+	checkers []Checker
+
+	// Watchdog state.
+	lastRetired  []uint64
+	lastProgress uint64
+}
+
+// NewRegistry returns a registry with the standard checker set (see
+// Standard) and the given options.
+func NewRegistry(opts Options) *Registry {
+	r := &Registry{opts: opts.withDefaults()}
+	for _, c := range Standard() {
+		r.Register(c)
+	}
+	return r
+}
+
+// Register appends a checker to the sweep.
+func (r *Registry) Register(c Checker) { r.checkers = append(r.checkers, c) }
+
+// Interval returns the configured cycle stride between sweeps.
+func (r *Registry) Interval() uint64 { return r.opts.Interval }
+
+// Checkers returns the names of the registered checkers.
+func (r *Registry) Checkers() []string {
+	out := make([]string, len(r.checkers))
+	for i, c := range r.checkers {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Check runs every registered checker against the target and returns a
+// *ViolationError (wrapping ErrViolation) for the first failure, with the
+// diagnostic dump attached.
+func (r *Registry) Check(t *Target) error {
+	for _, c := range r.checkers {
+		if err := c.Check(t); err != nil {
+			return &ViolationError{Checker: c.Name, Cycle: t.Cycle, Err: err, Dump: Dump(t)}
+		}
+	}
+	return nil
+}
+
+// Watch feeds the forward-progress watchdog. Call it at every sweep (it is
+// O(cores)); it returns a *DeadlockError (wrapping ErrDeadlock) once no core
+// has retired an instruction for WatchdogK cycles while done is false.
+// Halted cores are expected to stop retiring; the watchdog only trips while
+// the machine as a whole still owes work.
+func (r *Registry) Watch(t *Target, done bool) error {
+	if r.lastRetired == nil {
+		r.lastRetired = make([]uint64, len(t.Cores))
+		r.lastProgress = t.Cycle
+	}
+	progressed := false
+	for i, c := range t.Cores {
+		retired, _, _ := c.Progress()
+		if retired != r.lastRetired[i] {
+			r.lastRetired[i] = retired
+			progressed = true
+		}
+	}
+	if progressed || done {
+		r.lastProgress = t.Cycle
+		return nil
+	}
+	if window := t.Cycle - r.lastProgress; window >= r.opts.WatchdogK {
+		retired := make([]uint64, len(t.Cores))
+		pcs := make([]int, len(t.Cores))
+		for i, c := range t.Cores {
+			retired[i], pcs[i], _ = c.Progress()
+		}
+		return &DeadlockError{
+			Cycle: t.Cycle, Window: window, Retired: retired, PCs: pcs, Dump: Dump(t),
+		}
+	}
+	return nil
+}
+
+// Dump renders the full diagnostic snapshot attached to violation and
+// deadlock errors: per-core pipeline state (including the last squash) and
+// the hierarchy summary.
+func Dump(t *Target) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== machine dump at cycle %d ===\n", t.Cycle)
+	b.WriteString(t.Hier.DebugSummary())
+	for i, c := range t.Cores {
+		retired, pc, halted := c.Progress()
+		fmt.Fprintf(&b, "--- core %d (retired=%d pc=%d halted=%v epoch=%d) ---\n",
+			i, retired, pc, halted, c.Epoch())
+		b.WriteString(core.DebugDump(c))
+	}
+	return b.String()
+}

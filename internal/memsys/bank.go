@@ -278,10 +278,16 @@ func (h *Hierarchy) llcInstall(b *bank, lineNum uint64, t uint64) {
 	for _, c := range targets {
 		core := c
 		vline := victim.LineNum
+		// Track the in-flight recall so the coherence invariant checker can
+		// exempt this line from inclusivity checks until the L1 copy is gone.
+		h.recallPending[vline]++
 		tinv := h.mesh.send(t, b.id, core, h.cfg.CtrlMsgBytes, stats.TrafficWriteback)
 		h.at(tinv, func() {
 			h.invalidateL1(core, vline)
 			h.l1i[core].arr.Invalidate(vline)
+			if h.recallPending[vline]--; h.recallPending[vline] == 0 {
+				delete(h.recallPending, vline)
+			}
 		})
 	}
 	if victim.Dirty || owned {

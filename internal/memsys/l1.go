@@ -83,20 +83,35 @@ func (h *Hierarchy) buildComponents() {
 	cfg := h.cfg
 	mesh := noc.New(cfg.MeshW, cfg.MeshH, cfg.HopLatency, cfg.LinkBytes, h.st)
 	mem := dram.New(cfg.DRAMLatency, cfg.DRAMBandwidth)
+	h.noc = mesh
 	h.mesh = &meshIface{
-		send: mesh.Send,
+		send: func(now uint64, src, dst, bytes int, class stats.TrafficClass) uint64 {
+			t := mesh.Send(now, src, dst, bytes, class)
+			if h.fault != nil {
+				t = h.fault.NoCDeliver(now, t)
+			}
+			return t
+		},
 		dram: &dramIface{
 			read: func(now uint64, bytes int) uint64 {
 				if h.st != nil {
 					h.st.DRAMReads++
 				}
-				return mem.Read(now, bytes)
+				t := mem.Read(now, bytes)
+				if h.fault != nil {
+					t = h.fault.DRAMReady(now, t)
+				}
+				return t
 			},
 			write: func(now uint64, bytes int) uint64 {
 				if h.st != nil {
 					h.st.DRAMWrites++
 				}
-				return mem.Write(now, bytes)
+				t := mem.Write(now, bytes)
+				if h.fault != nil {
+					t = h.fault.DRAMReady(now, t)
+				}
+				return t
 			},
 		},
 	}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"invisispec/internal/config"
+	"invisispec/internal/noc"
 	"invisispec/internal/stats"
 )
 
@@ -125,11 +126,25 @@ type Client interface {
 	OnL1Evict(now uint64, lineNum uint64)
 }
 
+// FaultInjector perturbs the hierarchy's timing deterministically (see
+// internal/faultinject). Both hooks receive the nominal completion cycle and
+// return the (possibly delayed) one; they must never return a cycle before
+// the nominal one, so perturbation can stretch but never reorder a
+// transaction's internal timeline.
+type FaultInjector interface {
+	// NoCDeliver perturbs a mesh message's delivery cycle (extra latency,
+	// or a modelled drop-and-retransmit with capped backoff).
+	NoCDeliver(now, deliver uint64) uint64
+	// DRAMReady perturbs a DRAM access's data-ready cycle.
+	DRAMReady(now, ready uint64) uint64
+}
+
 // Hierarchy is the whole memory system.
 type Hierarchy struct {
 	cfg  config.Machine
 	st   *stats.Machine
 	mesh *meshIface
+	noc  *noc.Mesh
 	l1d  []*l1
 	l1i  []*l1
 	bank []*bank
@@ -141,8 +156,25 @@ type Hierarchy struct {
 	events eventHeap
 	seq    uint64
 
+	// Event conservation: every at() increments scheduled, every executed
+	// callback increments run, so scheduled == run + len(events) always.
+	eventsScheduled uint64
+	eventsRun       uint64
+
+	// recallPending counts in-flight inclusive-LLC recall invalidations per
+	// line: the window where the LLC has already dropped a victim but the
+	// L1 copies are still awaiting their invalidation events. The coherence
+	// invariant checker must exempt these lines from inclusivity checks.
+	recallPending map[uint64]int
+
+	fault FaultInjector
+
 	lineShift uint
 }
+
+// SetFaultInjector installs (or, with nil, removes) a deterministic timing
+// perturbator. Call before the first Tick.
+func (h *Hierarchy) SetFaultInjector(f FaultInjector) { h.fault = f }
 
 type meshIface struct {
 	send func(now uint64, src, dst, bytes int, class stats.TrafficClass) uint64
@@ -160,10 +192,11 @@ func New(cfg config.Machine, st *stats.Machine) *Hierarchy {
 		panic(err)
 	}
 	h := &Hierarchy{
-		cfg:       cfg,
-		st:        st,
-		clients:   make([]Client, cfg.Cores),
-		lineShift: log2(cfg.LineSize),
+		cfg:           cfg,
+		st:            st,
+		clients:       make([]Client, cfg.Cores),
+		recallPending: make(map[uint64]int),
+		lineShift:     log2(cfg.LineSize),
 	}
 	h.buildComponents()
 	return h
@@ -196,6 +229,7 @@ func (h *Hierarchy) Tick(now uint64) {
 	h.now = now
 	for len(h.events) > 0 && h.events[0].cycle <= now {
 		ev := heap.Pop(&h.events).(*event)
+		h.eventsRun++
 		ev.fn()
 	}
 	for _, c := range h.l1d {
@@ -213,6 +247,7 @@ func (h *Hierarchy) at(cycle uint64, fn func()) {
 		cycle = h.now + 1
 	}
 	h.seq++
+	h.eventsScheduled++
 	heap.Push(&h.events, &event{cycle: cycle, seq: h.seq, fn: fn})
 }
 

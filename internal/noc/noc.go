@@ -21,6 +21,13 @@ type Mesh struct {
 	// local ejection port.
 	linkFree []uint64
 	st       *stats.Machine
+
+	// Message conservation: every Send pushes its delivery cycle onto the
+	// pending min-heap; Accounting drains expired entries, so at any cycle
+	// injected == delivered + in-flight. The invariant checker audits this.
+	injected  uint64
+	delivered uint64
+	pending   []uint64 // binary min-heap of delivery cycles
 }
 
 const (
@@ -114,5 +121,58 @@ func (m *Mesh) Send(now uint64, src, dst, bytes int, class stats.TrafficClass) u
 		// Local transfer: pay serialization only.
 		t = now + ser
 	}
+	m.injected++
+	m.pushPending(t)
 	return t
+}
+
+// pushPending adds a delivery cycle to the min-heap.
+func (m *Mesh) pushPending(t uint64) {
+	m.pending = append(m.pending, t)
+	i := len(m.pending) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if m.pending[p] <= m.pending[i] {
+			break
+		}
+		m.pending[p], m.pending[i] = m.pending[i], m.pending[p]
+		i = p
+	}
+}
+
+// popPending removes the earliest delivery cycle from the min-heap.
+func (m *Mesh) popPending() {
+	n := len(m.pending) - 1
+	m.pending[0] = m.pending[n]
+	m.pending = m.pending[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && m.pending[l] < m.pending[small] {
+			small = l
+		}
+		if r < n && m.pending[r] < m.pending[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		m.pending[i], m.pending[small] = m.pending[small], m.pending[i]
+		i = small
+	}
+}
+
+// Accounting returns the message-conservation counters as of cycle now:
+// messages injected since construction, messages whose delivery cycle has
+// passed, and messages still in flight. injected == delivered + inflight
+// always holds by construction here; the useful check is cross-referencing
+// inflight against the event queue (a message in flight with no pending
+// hierarchy event is a lost message).
+func (m *Mesh) Accounting(now uint64) (injected, delivered uint64, inflight int) {
+	for len(m.pending) > 0 && m.pending[0] <= now {
+		m.popPending()
+		m.delivered++
+	}
+	return m.injected, m.delivered, len(m.pending)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"invisispec/internal/config"
+	"invisispec/internal/invariant"
 	"invisispec/internal/isa"
 	"invisispec/internal/sim"
 )
@@ -15,12 +16,25 @@ import (
 // to preserve the memory model (paper §V-A3, Appendix), so these tests
 // guard the validation/exposure machinery as much as the baseline.
 
-// litmusRun executes per-core programs and returns a result-reading helper.
+// litmusRun executes per-core programs — with the hardening layer's
+// invariant checkers and watchdog enabled, so a protocol bug surfaces as a
+// typed violation with a dump rather than as a wrong litmus outcome — and
+// returns a result-reading helper.
 func litmusRun(t *testing.T, d config.Defense, cm config.Consistency, progs []*isa.Program) func(addr uint64) uint64 {
+	return litmusRunFaulty(t, d, cm, progs, 0)
+}
+
+// litmusRunFaulty is litmusRun with deterministic fault injection (seed 0 =
+// no faults).
+func litmusRunFaulty(t *testing.T, d config.Defense, cm config.Consistency, progs []*isa.Program, faultSeed int64) func(addr uint64) uint64 {
 	t.Helper()
 	r := config.Run{Machine: config.Default(len(progs)), Defense: d, Consistency: cm}
 	m := sim.MustNew(r, progs)
-	if err := m.RunToCompletion(6_000_000); err != nil {
+	if faultSeed != 0 {
+		m.SeedFaults(faultSeed)
+	}
+	m.EnableChecking(invariant.Options{Interval: 512})
+	if err := m.RunToCompletion(12_000_000); err != nil {
 		t.Fatalf("%v/%v: %v", d, cm, err)
 	}
 	return func(addr uint64) uint64 { return m.Mem.Read(addr, 8) }
@@ -195,6 +209,40 @@ func TestLitmusMPDataDependency(t *testing.T) {
 		read := litmusRun(t, c.Defense, c.Consistency, []*isa.Program{w, r})
 		if got := read(out); got != 42 {
 			t.Errorf("%v/%v: dependent load read %d, want 42", c.Defense, c.Consistency, got)
+		}
+	}
+}
+
+// Litmus outcomes and machine invariants must survive deterministic fault
+// injection: NoC jitter, modelled drops with backoff, and DRAM noise stretch
+// timing but may not break the memory model or the protocol. MP-dep is the
+// most timing-sensitive of the suite (a spin loop racing a publication), so
+// it runs under every configuration for three distinct fault seeds.
+func TestLitmusMPDataDependencyUnderFaults(t *testing.T) {
+	const data, flag, out = 0x17000, 0x18000, 0x34000
+	w := isa.NewBuilder("w").
+		Li(1, data).Li(2, flag).Li(3, 42).Li(4, 1).
+		St(8, 1, 0, 3).
+		Release().
+		St(8, 2, 0, 4).
+		Halt().MustBuild()
+	r := isa.NewBuilder("r").
+		Li(2, flag).Li(5, out).
+		Label("spin").
+		Ld(8, 3, 2, 0).
+		Beq(3, 0, "spin").
+		Li(6, data-1).
+		Add(6, 6, 3).
+		Ld(8, 7, 6, 0).
+		St(8, 5, 0, 7).
+		Halt().MustBuild()
+	for _, seed := range []int64{11, 22, 33} {
+		for _, c := range allConfigs() {
+			read := litmusRunFaulty(t, c.Defense, c.Consistency, []*isa.Program{w, r}, seed)
+			if got := read(out); got != 42 {
+				t.Errorf("seed %d %v/%v: dependent load read %d, want 42",
+					seed, c.Defense, c.Consistency, got)
+			}
 		}
 	}
 }

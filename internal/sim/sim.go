@@ -10,13 +10,37 @@ import (
 
 	"invisispec/internal/config"
 	"invisispec/internal/core"
+	"invisispec/internal/faultinject"
+	"invisispec/internal/invariant"
 	"invisispec/internal/isa"
 	"invisispec/internal/memsys"
 	"invisispec/internal/stats"
 )
 
 // ErrCycleBudget is returned when a run does not finish within its budget.
+// Returned errors are *BudgetError values wrapping this sentinel, so callers
+// can either errors.Is-match the condition or errors.As-extract the per-core
+// progress snapshot.
 var ErrCycleBudget = errors.New("sim: cycle budget exhausted")
+
+// BudgetError is a cycle-budget exhaustion with enough per-core progress
+// context (retired counts, PCs) to diagnose which core stopped making
+// progress without rerunning the simulation.
+type BudgetError struct {
+	Cycle   uint64   // cycle at which the budget ran out
+	Budget  uint64   // the configured budget
+	Retired []uint64 // per-core retired instruction counts
+	PCs     []int    // per-core fetch PCs
+	Halted  []bool   // per-core halt flags
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: cycle budget exhausted at cycle %d (budget %d; retired=%v pcs=%v halted=%v)",
+		e.Cycle, e.Budget, e.Retired, e.PCs, e.Halted)
+}
+
+// Unwrap makes errors.Is(err, ErrCycleBudget) true.
+func (e *BudgetError) Unwrap() error { return ErrCycleBudget }
 
 // Machine is one simulated system executing a set of per-core programs.
 type Machine struct {
@@ -26,7 +50,9 @@ type Machine struct {
 	Cores []*core.Core
 	Stats *stats.Machine
 
-	cycle uint64
+	cycle   uint64
+	checker *invariant.Registry
+	faults  *faultinject.Injector
 }
 
 // New builds a machine running progs[i] on core i. len(progs) must equal
@@ -85,26 +111,97 @@ func (m *Machine) Done() bool {
 }
 
 // RunToCompletion steps until every core halts (and write buffers drain) or
-// the cycle budget runs out.
+// the cycle budget runs out. With checking enabled, a failed invariant or a
+// tripped forward-progress watchdog aborts the run with the typed error.
 func (m *Machine) RunToCompletion(maxCycles uint64) error {
 	for !m.Done() {
 		if m.cycle >= maxCycles {
-			return ErrCycleBudget
+			return m.budgetError(maxCycles)
 		}
 		m.Step()
+		if err := m.checkTick(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // RunInstructions steps until the machine has retired at least n
 // instructions in total, every core halted, or the cycle budget ran out.
-// It is the fixed-work mode the figure harnesses use.
+// It is the fixed-work mode the figure harnesses use. With checking enabled,
+// invariant violations and deadlocks abort the run like RunToCompletion.
 func (m *Machine) RunInstructions(n uint64, maxCycles uint64) error {
 	for m.Stats.TotalRetired() < n && !m.Done() {
 		if m.cycle >= maxCycles {
-			return ErrCycleBudget
+			return m.budgetError(maxCycles)
 		}
 		m.Step()
+		if err := m.checkTick(); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// budgetError snapshots per-core progress into a BudgetError.
+func (m *Machine) budgetError(budget uint64) error {
+	e := &BudgetError{
+		Cycle: m.cycle, Budget: budget,
+		Retired: make([]uint64, len(m.Cores)),
+		PCs:     make([]int, len(m.Cores)),
+		Halted:  make([]bool, len(m.Cores)),
+	}
+	for i, c := range m.Cores {
+		e.Retired[i], e.PCs[i], e.Halted[i] = c.Progress()
+	}
+	return e
+}
+
+// EnableChecking attaches an invariant-checker registry (see
+// internal/invariant) that the run loops sweep every opts.Interval cycles.
+// Violations and watchdog deadlocks surface as the run's error.
+func (m *Machine) EnableChecking(opts invariant.Options) *invariant.Registry {
+	m.checker = invariant.NewRegistry(opts)
+	return m.checker
+}
+
+// Checking reports whether invariant checking is enabled.
+func (m *Machine) Checking() bool { return m.checker != nil }
+
+// checkTick runs the invariant sweep and watchdog at the registry's stride.
+func (m *Machine) checkTick() error {
+	if m.checker == nil || m.cycle%m.checker.Interval() != 0 {
+		return nil
+	}
+	return m.CheckNow()
+}
+
+// CheckNow runs the full invariant sweep and the forward-progress watchdog
+// immediately, regardless of the stride. No-op without EnableChecking.
+func (m *Machine) CheckNow() error {
+	if m.checker == nil {
+		return nil
+	}
+	t := &invariant.Target{Cycle: m.cycle, Run: m.Run, Cores: m.Cores, Hier: m.Hier}
+	if err := m.checker.Check(t); err != nil {
+		return err
+	}
+	return m.checker.Watch(t, m.Done())
+}
+
+// SeedFaults installs a deterministic fault injector (see
+// internal/faultinject, default rates) perturbing NoC and DRAM timing. Call
+// before the first Step; the same seed reproduces the same perturbation.
+func (m *Machine) SeedFaults(seed int64) {
+	m.faults = faultinject.New(seed)
+	m.Hier.SetFaultInjector(m.faults)
+}
+
+// FaultStats returns the injected-fault counts (zero value if SeedFaults was
+// never called).
+func (m *Machine) FaultStats() faultinject.Stats {
+	if m.faults == nil {
+		return faultinject.Stats{}
+	}
+	return m.faults.Stats()
 }

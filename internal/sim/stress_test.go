@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"invisispec/internal/config"
+	"invisispec/internal/invariant"
 	"invisispec/internal/isa"
 	"invisispec/internal/sim"
 )
@@ -34,7 +35,26 @@ func TestSharedMemoryStress(t *testing.T) {
 		for _, c := range cfgs {
 			c := c
 			t.Run(fmt.Sprintf("seed%d/%v-%v", seed, c.Defense, c.Consistency), func(t *testing.T) {
-				stressOnce(t, seed, c.Defense, c.Consistency)
+				stressOnce(t, seed, c.Defense, c.Consistency, 0)
+			})
+		}
+	}
+}
+
+// The same stress guarantees must hold under deterministic fault injection:
+// delays and modelled drops change interleavings, never outcomes. Three
+// fault seeds over the two most demanding configurations.
+func TestSharedMemoryStressUnderFaults(t *testing.T) {
+	cfgs := []config.Run{
+		{Defense: config.ISSpectre, Consistency: config.TSO},
+		{Defense: config.ISFuture, Consistency: config.RC},
+	}
+	for _, faultSeed := range []int64{5, 50, 500} {
+		for _, c := range cfgs {
+			c := c
+			faultSeed := faultSeed
+			t.Run(fmt.Sprintf("fault%d/%v-%v", faultSeed, c.Defense, c.Consistency), func(t *testing.T) {
+				stressOnce(t, 7, c.Defense, c.Consistency, faultSeed)
 			})
 		}
 	}
@@ -49,7 +69,7 @@ const (
 	stIterations = 30
 )
 
-func stressOnce(t *testing.T, seed int64, d config.Defense, cm config.Consistency) {
+func stressOnce(t *testing.T, seed int64, d config.Defense, cm config.Consistency, faultSeed int64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	const cores = 4
@@ -61,7 +81,13 @@ func stressOnce(t *testing.T, seed int64, d config.Defense, cm config.Consistenc
 	}
 	r := config.Run{Machine: config.Default(cores), Defense: d, Consistency: cm}
 	m := sim.MustNew(r, progs)
-	if err := m.RunToCompletion(40_000_000); err != nil {
+	if faultSeed != 0 {
+		m.SeedFaults(faultSeed)
+	}
+	// The hardening layer audits structural, coherence, and InvisiSpec
+	// invariants throughout the run; a violation fails the test with a dump.
+	m.EnableChecking(invariant.Options{Interval: 1024})
+	if err := m.RunToCompletion(80_000_000); err != nil {
 		t.Fatal(err)
 	}
 	// Invariant 1: atomic counters.
