@@ -1,11 +1,15 @@
 # Build/verification entry points. The tier-1 gate is `make check`:
-# build + vet + full test suite, then the suite again under the race
-# detector (the simulator is single-goroutine by design; the race run
-# guards the test harnesses and any future parallelism).
+# build + vet + the full test suite under the race detector. The race run
+# is the canonical test run — it executes every test exactly once (the
+# simulator is single-goroutine by design; the race detector guards the
+# parallel experiment runner and the test harnesses). `make test` remains
+# for quick iteration without race instrumentation.
 
 GO ?= go
+JOBS ?= 4
+SMOKE_FLAGS = -fig 4 -warmup 5000 -measure 20000 -jobs $(JOBS) -quiet
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet race check ci bench smoke benchdiff baseline
 
 all: build
 
@@ -15,13 +19,33 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fast, race-free test run for local iteration.
 test:
 	$(GO) test ./...
 
+# Canonical test run: the full suite under the race detector.
 race:
 	$(GO) test -race ./...
 
-check: build vet test race
+check: build vet race
+
+# What CI invokes; kept separate from `check` so CI-only steps can be
+# attached without changing the local gate.
+ci: check
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Short-budget Figure-4 sweep producing the BENCH_smoke.json artifact the
+# CI regression gate compares against the committed baseline.
+smoke:
+	$(GO) run ./cmd/benchtable $(SMOKE_FLAGS) -benchjson BENCH_smoke.json -benchname smoke
+
+benchdiff: smoke
+	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_smoke.json
+
+# Regenerate the committed baseline (host block omitted so the artifact is
+# byte-stable across machines). Run after intentional timing-model changes,
+# and sanity-check the diff before committing.
+baseline:
+	$(GO) run ./cmd/benchtable $(SMOKE_FLAGS) -benchjson BENCH_baseline.json -benchname smoke -benchhost=false

@@ -14,13 +14,16 @@
 package invisispec_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"invisispec/internal/config"
 	"invisispec/internal/harness"
 	"invisispec/internal/hwcost"
 	"invisispec/internal/isa"
+	"invisispec/internal/runner"
 	"invisispec/internal/sim"
 	"invisispec/internal/stats"
 	"invisispec/internal/workload"
@@ -39,29 +42,47 @@ func reportRun(b *testing.B, r harness.Result) {
 	b.ReportMetric(0, "ns/op") // simulated time is the metric, not host time
 }
 
-// benchSuite runs workload x defense sub-benchmarks for one suite.
+// benchSuite runs workload x defense sub-benchmarks for one suite. Each
+// sub-benchmark goes through the experiment runner (a one-job matrix), the
+// same path cmd/benchtable uses, so the benches exercise what the figures
+// measure.
 func benchSuite(b *testing.B, names []string, parsec bool) {
 	for _, name := range names {
 		for _, d := range config.AllDefenses() {
 			b.Run(fmt.Sprintf("%s/%s", name, d), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					var (
-						r   harness.Result
-						err error
-					)
-					if parsec {
-						r, err = harness.MeasurePARSEC(name, d, config.TSO, benchWarmup, benchMeasure)
-					} else {
-						r, err = harness.MeasureSPEC(name, d, config.TSO, benchWarmup, benchMeasure)
-					}
-					if err != nil {
+					jobs := []runner.Job{{
+						Workload: name, Parsec: parsec, Defense: d,
+						Consistency: config.TSO,
+						Warmup:      benchWarmup, Measure: benchMeasure,
+					}}
+					results := runner.Run(context.Background(), jobs, runner.Options{Jobs: 1})
+					if err := runner.FirstError(results); err != nil {
 						b.Fatal(err)
 					}
-					reportRun(b, r)
+					reportRun(b, results[0].Result)
 				}
 			})
 		}
 	}
+}
+
+// BenchmarkRunnerFig4 runs the full Figure-4 TSO matrix (all SPEC kernels x
+// five defenses) through the worker pool. Host time is the metric: run with
+// -cpu 1,4,8 to see the pool's wall-clock scaling on the exact workload the
+// figure generator shards (the ISSUE-2 acceptance measurement).
+func BenchmarkRunnerFig4(b *testing.B) {
+	jobs := runner.Matrix(workload.SPECNames(), false,
+		[]config.Consistency{config.TSO}, config.AllDefenses(), nil,
+		benchWarmup, benchMeasure)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := runner.Run(context.Background(), jobs, runner.Options{Jobs: runtime.GOMAXPROCS(0)})
+		if err := runner.FirstError(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 // BenchmarkFig4SPECTime regenerates Figure 4: per-kernel execution cost

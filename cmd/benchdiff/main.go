@@ -1,0 +1,191 @@
+// Command benchdiff is the CI regression gate: it compares two bench-JSON
+// artifacts (see internal/runner) and exits non-zero when the candidate's
+// results are unacceptable against the baseline.
+//
+//	benchdiff [-tol 0.10] [-eps 0.02] BENCH_baseline.json BENCH_candidate.json
+//
+// Two families of checks run:
+//
+//   - Shape fidelity (candidate only): within every (workload, consistency,
+//     fault-seed) group that carries all five Table V configs, the insecure
+//     Base must be the fastest config; and averaged across each
+//     consistency model's complete groups (the figures' bottom rows),
+//     InvisiSpec-Spectre must beat Fence-Spectre and InvisiSpec-Future must
+//     beat Fence-Future. The IS-vs-fence ordering is checked on the average
+//     rather than per workload because the paper's own per-benchmark bars
+//     invert on memory-bound kernels (validation-heavy mcf/omnetpp-style
+//     rows) while the headline average holds. A shape inversion means the
+//     reproduction no longer reproduces, no matter how fast it got. -eps is
+//     the slack ratio for near-ties.
+//
+//   - Performance regression (candidate vs baseline): every baseline run
+//     must exist in the candidate, must have succeeded, and its CPI must
+//     not exceed the baseline's by more than -tol. The simulator is fully
+//     deterministic, so on unchanged timing models the CPIs match exactly;
+//     the tolerance only admits intentional model changes small enough to
+//     keep the figures honest.
+//
+// All violations are reported (not just the first) before the non-zero exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"invisispec/internal/config"
+	"invisispec/internal/runner"
+)
+
+var (
+	tol = flag.Float64("tol", 0.10, "maximum allowed relative CPI regression vs the baseline")
+	eps = flag.Float64("eps", 0.02, "slack ratio for shape (ordering) comparisons")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol f] [-eps f] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	base := load(flag.Arg(0))
+	cand := load(flag.Arg(1))
+
+	var problems []string
+	problems = append(problems, shapeProblems(cand)...)
+	problems = append(problems, regressionProblems(base, cand)...)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", p)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %d problem(s) comparing %q against baseline %q\n",
+			len(problems), cand.Name, base.Name)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok — %d candidate runs, %d baseline runs, shape holds, CPI within %.0f%%\n",
+		len(cand.Runs), len(base.Runs), *tol*100)
+}
+
+func load(path string) *runner.Bench {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	b, err := runner.ReadBenchJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return b
+}
+
+// groupKey is one normalization group.
+type groupKey struct {
+	workload, cm string
+	seed         int64
+}
+
+func (k groupKey) String() string {
+	return fmt.Sprintf("%s/%s/seed%d", k.workload, k.cm, k.seed)
+}
+
+// shapeProblems verifies the paper's qualitative ordering inside the
+// candidate artifact.
+func shapeProblems(cand *runner.Bench) []string {
+	groups := make(map[groupKey]map[string]runner.BenchRun)
+	for _, r := range cand.Runs {
+		if r.Error != "" {
+			continue // reported by the regression pass
+		}
+		k := groupKey{r.Workload, r.Consistency, r.FaultSeed}
+		if groups[k] == nil {
+			groups[k] = make(map[string]runner.BenchRun, 5)
+		}
+		groups[k][r.Defense] = r
+	}
+	var problems []string
+	// Per consistency model: sum of normalized times per defense and the
+	// number of complete groups, for the figures' average rows.
+	avgSum := make(map[string]map[config.Defense]float64)
+	avgN := make(map[string]int)
+	for _, k := range sortedGroupKeys(groups) {
+		g := groups[k]
+		if len(g) < len(config.AllDefenses()) {
+			continue // partial matrix (e.g. table6 artifacts): nothing to order
+		}
+		base := g[config.Base.String()]
+		if avgSum[k.cm] == nil {
+			avgSum[k.cm] = make(map[config.Defense]float64, 5)
+		}
+		avgN[k.cm]++
+		for _, d := range config.AllDefenses() {
+			r := g[d.String()]
+			if base.CPI > 0 {
+				avgSum[k.cm][d] += r.CPI / base.CPI
+			}
+			if d != config.Base && base.CPI > r.CPI*(1+*eps) {
+				problems = append(problems, fmt.Sprintf(
+					"%s: shape inverted: insecure Base (CPI %.4f) slower than %s (CPI %.4f)",
+					k, base.CPI, d, r.CPI))
+			}
+		}
+	}
+	for _, cm := range []string{config.TSO.String(), config.RC.String()} {
+		n := avgN[cm]
+		if n == 0 {
+			continue
+		}
+		avg := func(d config.Defense) float64 { return avgSum[cm][d] / float64(n) }
+		check := func(is, fence config.Defense, why string) {
+			if avg(is) > avg(fence)*(1+*eps) {
+				problems = append(problems, fmt.Sprintf(
+					"%s average over %d workloads: shape inverted: %s (%.3fx) slower than %s (%.3fx) — %s",
+					cm, n, is, avg(is), fence, avg(fence), why))
+			}
+		}
+		check(config.ISSpectre, config.FenceSpectre, "InvisiSpec must beat fences for the Spectre threat model")
+		check(config.ISFuture, config.FenceFuture, "InvisiSpec must beat fences for the futuristic threat model")
+	}
+	return problems
+}
+
+// regressionProblems compares the candidate's runs against the baseline's.
+func regressionProblems(base, cand *runner.Bench) []string {
+	var problems []string
+	candByKey := cand.RunsByKey()
+	baseByKey := base.RunsByKey()
+	for _, key := range base.SortedRunKeys() {
+		b := baseByKey[key]
+		if b.Error != "" {
+			continue // a broken baseline run gates nothing
+		}
+		c, ok := candByKey[key]
+		switch {
+		case !ok:
+			problems = append(problems, fmt.Sprintf("%s: present in baseline, missing from candidate", key))
+		case c.Error != "":
+			problems = append(problems, fmt.Sprintf("%s: candidate run failed: %s", key, c.Error))
+		case c.Instructions == 0:
+			problems = append(problems, fmt.Sprintf("%s: candidate run retired no instructions", key))
+		case c.CPI > b.CPI*(1+*tol):
+			problems = append(problems, fmt.Sprintf(
+				"%s: CPI regressed %.4f -> %.4f (+%.1f%%, tolerance %.0f%%)",
+				key, b.CPI, c.CPI, 100*(c.CPI/b.CPI-1), *tol*100))
+		}
+	}
+	return problems
+}
+
+// sortedGroupKeys returns the groups in deterministic report order.
+func sortedGroupKeys(groups map[groupKey]map[string]runner.BenchRun) []groupKey {
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}

@@ -9,21 +9,27 @@
 //	benchtable -table 6    InvisiSpec operation characterization
 //	benchtable -table 7    L1-SB / LLC-SB hardware overhead
 //
-// -measure scales the per-run instruction budget; the defaults keep a full
-// figure under ~15 minutes on a laptop core. Shapes (who wins, by roughly
-// what factor) converge long before absolute numbers stop moving.
+// -measure scales the per-run instruction budget. The experiment matrix is
+// sharded across -jobs workers (default: all host CPUs) by internal/runner;
+// each run is an isolated single-goroutine machine, and the aggregated
+// output is byte-identical to a -jobs 1 run. -benchjson additionally writes
+// the schema-versioned BENCH artifact that cmd/benchdiff gates CI with.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"invisispec/internal/config"
 	"invisispec/internal/harness"
 	"invisispec/internal/hwcost"
+	"invisispec/internal/runner"
 	"invisispec/internal/stats"
 	"invisispec/internal/workload"
 )
@@ -35,23 +41,37 @@ var (
 	measure = flag.Uint64("measure", 100000, "measured instructions per run")
 	names   = flag.String("names", "", "comma-separated workload subset (default: all)")
 	csvPath = flag.String("csv", "", "also write every raw measurement to this CSV file")
+	jobsN   = flag.Int("jobs", runtime.NumCPU(), "parallel simulation jobs (worker pool size)")
+	seedsF  = flag.String("faultseeds", "", "comma-separated fault-injection seeds: adds a seed axis to the matrix (0 or empty = fault-free)")
+	bjPath  = flag.String("benchjson", "", "also write the aggregated measurements as a bench-JSON artifact to this file")
+	bjName  = flag.String("benchname", "", "artifact name inside -benchjson (default: fig<N>/table<N>)")
+	bjHost  = flag.Bool("benchhost", true, "include the host wall-time block in -benchjson output (disable for committed baselines)")
+	quiet   = flag.Bool("quiet", false, "suppress per-job progress lines on stderr")
 
 	csvW *csv.Writer
 )
 
-// csvOpen starts the raw-measurement CSV if requested.
+// fail prints the error and exits non-zero.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchtable:", err)
+	os.Exit(1)
+}
+
+// csvOpen starts the raw-measurement CSV if requested. The returned closer
+// flushes and surfaces any buffered write error: CI must not be able to
+// upload a silently truncated CSV.
 func csvOpen() func() {
 	if *csvPath == "" {
 		return func() {}
 	}
 	f, err := os.Create(*csvPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchtable:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	csvW = csv.NewWriter(f)
 	csvW.Write([]string{
-		"workload", "defense", "consistency", "instructions", "cycles", "cpi",
+		"workload", "defense", "consistency", "fault_seed", "instructions",
+		"cycles", "cpi",
 		"traffic_total", "traffic_normal", "traffic_specload", "traffic_valexp",
 		"traffic_writeback", "traffic_fetch", "exposures", "validations_l1hit",
 		"validations_l1miss", "validation_failures", "squashes_per_minst",
@@ -59,17 +79,25 @@ func csvOpen() func() {
 	})
 	return func() {
 		csvW.Flush()
-		f.Close()
+		if err := csvW.Error(); err != nil {
+			f.Close()
+			fail(fmt.Errorf("writing %s: %w", *csvPath, err))
+		}
+		if err := f.Close(); err != nil {
+			fail(fmt.Errorf("closing %s: %w", *csvPath, err))
+		}
 	}
 }
 
-func csvRow(r harness.Result) {
+func csvRow(jr runner.JobResult) {
 	if csvW == nil {
 		return
 	}
+	r := jr.Result
 	c := r.Core
 	csvW.Write([]string{
 		r.Workload, r.Run.Defense.String(), r.Run.Consistency.String(),
+		fmt.Sprint(jr.Job.FaultSeed),
 		fmt.Sprint(r.Instructions), fmt.Sprint(r.Cycles),
 		fmt.Sprintf("%.4f", r.CPI()),
 		fmt.Sprint(r.TotalTraffic()),
@@ -108,6 +136,82 @@ func main() {
 	}
 }
 
+// runMatrix shards the jobs across the pool, records every measurement in
+// the CSV and bench-JSON sinks, and exits on the first (matrix-order) error.
+func runMatrix(jobs []runner.Job, artifact string) []runner.JobResult {
+	opts := runner.Options{Jobs: *jobsN}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	start := time.Now()
+	results := runner.Run(context.Background(), jobs, opts)
+	wall := time.Since(start)
+	if err := runner.FirstError(results); err != nil {
+		fail(err)
+	}
+	for _, r := range results {
+		csvRow(r)
+	}
+	writeBenchJSON(results, artifact, wall)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "runner: %d jobs in %s at -jobs %d\n",
+			len(jobs), wall.Round(time.Millisecond), *jobsN)
+	}
+	return results
+}
+
+// writeBenchJSON emits the -benchjson artifact, if requested.
+func writeBenchJSON(results []runner.JobResult, artifact string, wall time.Duration) {
+	if *bjPath == "" {
+		return
+	}
+	if *bjName != "" {
+		artifact = *bjName
+	}
+	b := runner.NewBench(artifact, *warmup, *measure, results)
+	if *bjHost {
+		b.WithHost(wall, *jobsN, results)
+	}
+	f, err := os.Create(*bjPath)
+	if err != nil {
+		fail(err)
+	}
+	if err := runner.WriteBenchJSON(f, b); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(fmt.Errorf("closing %s: %w", *bjPath, err))
+	}
+}
+
+// seedAxis parses -faultseeds. Empty means the fault-free single-seed
+// matrix (seed 0). With several seeds, every run repeats once per seed:
+// the printed tables show the first seed's rows, while the CSV and
+// bench-JSON artifacts carry the full seed axis (benchdiff groups by seed).
+func seedAxis() []int64 {
+	if *seedsF == "" {
+		return nil
+	}
+	var out []int64
+	for _, s := range strings.Split(*seedsF, ",") {
+		var v int64
+		if _, err := fmt.Sscan(strings.TrimSpace(s), &v); err != nil {
+			fail(fmt.Errorf("bad -faultseeds entry %q: %w", s, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// firstSeed is the seed whose rows the human-readable tables print.
+func firstSeed() int64 {
+	if s := seedAxis(); len(s) > 0 {
+		return s[0]
+	}
+	return 0
+}
+
 func selectNames(parsec bool) []string {
 	all := workload.SPECNames()
 	if parsec {
@@ -131,9 +235,32 @@ func header(cols []string) {
 	fmt.Println()
 }
 
+// groupKey buckets aggregated results the way the figures read them.
+type groupKey struct {
+	name string
+	cm   config.Consistency
+	seed int64
+}
+
+// group indexes results by (workload, consistency, seed) and defense.
+func group(results []runner.JobResult) map[groupKey]map[config.Defense]harness.Result {
+	out := make(map[groupKey]map[config.Defense]harness.Result)
+	for _, r := range results {
+		k := groupKey{r.Job.Workload, r.Job.Consistency, r.Job.FaultSeed}
+		if out[k] == nil {
+			out[k] = make(map[config.Defense]harness.Result, 5)
+		}
+		out[k][r.Job.Defense] = r.Result
+	}
+	return out
+}
+
+var bothModels = []config.Consistency{config.TSO, config.RC}
+
 // execTimeFigure prints Figure 4 (SPEC) or Figure 7 (PARSEC): per-workload
 // execution time under each defense normalized to Base, under TSO, plus
-// the RC-average row.
+// the RC-average row. The whole name x model x defense matrix runs through
+// the worker pool before anything prints.
 func execTimeFigure(parsec bool) {
 	which := 4
 	suite := "SPEC"
@@ -141,8 +268,13 @@ func execTimeFigure(parsec bool) {
 		which = 7
 		suite = "PARSEC"
 	}
-	fmt.Printf("Figure %d: normalized execution time, %s (higher is slower)\n\n", which, suite)
 	defs := config.AllDefenses()
+	ns := selectNames(parsec)
+	res := group(runMatrix(
+		runner.Matrix(ns, parsec, bothModels, defs, seedAxis(), *warmup, *measure),
+		fmt.Sprintf("fig%d", which)))
+
+	fmt.Printf("Figure %d: normalized execution time, %s (higher is slower)\n\n", which, suite)
 	cols := make([]string, len(defs))
 	for i, d := range defs {
 		cols[i] = d.String()
@@ -152,18 +284,11 @@ func execTimeFigure(parsec bool) {
 	sums := map[config.Consistency]map[config.Defense]float64{
 		config.TSO: {}, config.RC: {},
 	}
-	ns := selectNames(parsec)
 	for _, name := range ns {
-		for _, cm := range []config.Consistency{config.TSO, config.RC} {
-			res, err := harness.Sweep(name, parsec, cm, *warmup, *measure)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchtable:", err)
-				os.Exit(1)
-			}
-			norm := harness.NormalizedTime(res)
+		for _, cm := range bothModels {
+			norm := harness.NormalizedTime(res[groupKey{name, cm, firstSeed()}])
 			for _, d := range defs {
 				sums[cm][d] += norm[d]
-				csvRow(res[d])
 			}
 			if cm == config.TSO {
 				fmt.Printf("%-12s", name)
@@ -187,33 +312,32 @@ func trafficFigure(parsec bool) {
 		which = 8
 		suite = "PARSEC"
 	}
+	defs := config.AllDefenses()
+	ns := selectNames(parsec)
+	res := group(runMatrix(
+		runner.Matrix(ns, parsec, bothModels, defs, seedAxis(), *warmup, *measure),
+		fmt.Sprintf("fig%d", which)))
+
 	fmt.Printf("Figure %d: normalized network traffic, %s\n", which, suite)
 	fmt.Printf("(spec%%/ve%% = share of the InvisiSpec config's bytes from Spec-GetS / expose+validate;\n")
 	fmt.Printf(" rows where the baseline moves almost no bytes — fully cache-resident kernels —\n")
 	fmt.Printf(" normalize against a floor of 1/16 B/instr and read as ~0)\n\n")
-	defs := config.AllDefenses()
 	cols := append([]string{}, "Base", "Fe-Sp", "IS-Sp", "spec%", "ve%", "Fe-Fu", "IS-Fu", "spec%", "ve%")
 	header(cols)
 
 	sums := map[config.Consistency]map[config.Defense]float64{
 		config.TSO: {}, config.RC: {},
 	}
-	ns := selectNames(parsec)
 	for _, name := range ns {
-		for _, cm := range []config.Consistency{config.TSO, config.RC} {
-			res, err := harness.Sweep(name, parsec, cm, *warmup, *measure)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchtable:", err)
-				os.Exit(1)
-			}
-			norm := harness.NormalizedTraffic(res)
+		for _, cm := range bothModels {
+			byDef := res[groupKey{name, cm, firstSeed()}]
+			norm := harness.NormalizedTraffic(byDef)
 			for _, d := range defs {
 				sums[cm][d] += norm[d]
-				csvRow(res[d])
 			}
 			if cm == config.TSO {
 				share := func(d config.Defense, tc stats.TrafficClass) float64 {
-					r := res[d]
+					r := byDef[d]
 					if r.TotalTraffic() == 0 {
 						return 0
 					}
@@ -247,41 +371,22 @@ func printAverages(defs []config.Defense, sums map[config.Consistency]map[config
 }
 
 // table6 prints the InvisiSpec operation characterization (paper Table VI)
-// for IS-Sp and IS-Fu under TSO.
+// for IS-Sp and IS-Fu under TSO, both suites through one pool run.
 func table6() {
+	isDefs := []config.Defense{config.ISSpectre, config.ISFuture}
+	tso := []config.Consistency{config.TSO}
+	jobs := runner.Matrix(selectNames(false), false, tso, isDefs, seedAxis(), *warmup, *measure)
+	jobs = append(jobs, runner.Matrix(selectNames(true), true, tso, isDefs, seedAxis(), *warmup, *measure)...)
+	results := runMatrix(jobs, "table6")
+
 	fmt.Println("Table VI: characterization of InvisiSpec's operation under TSO")
 	fmt.Println("(Sp = IS-Spectre, Fu = IS-Future)")
 	fmt.Println()
 	fmt.Printf("%-14s %-6s %7s %7s %7s %9s %7s %7s %7s %7s %7s\n",
 		"workload", "cfg", "expo%", "valL1h%", "valL1m%", "sq/Minst",
 		"br%", "cons%", "vfail%", "SBhit%", "LLCSB%")
-	suites := []struct {
-		parsec bool
-		names  []string
-	}{
-		{false, selectNames(false)},
-		{true, selectNames(true)},
-	}
-	for _, s := range suites {
-		for _, name := range s.names {
-			for _, d := range []config.Defense{config.ISSpectre, config.ISFuture} {
-				var (
-					r   harness.Result
-					err error
-				)
-				if s.parsec {
-					r, err = harness.MeasurePARSEC(name, d, config.TSO, *warmup, *measure)
-				} else {
-					r, err = harness.MeasureSPEC(name, d, config.TSO, *warmup, *measure)
-				}
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "benchtable:", err)
-					os.Exit(1)
-				}
-				csvRow(r)
-				printTable6Row(name, d, r)
-			}
-		}
+	for _, r := range results {
+		printTable6Row(r.Job.Workload, r.Job.Defense, r.Result)
 	}
 }
 
@@ -295,10 +400,7 @@ func printTable6Row(name string, d config.Defense, r harness.Result) {
 	if ve == 0 {
 		ve = 1
 	}
-	var squashes float64
-	for _, v := range c.Squashes {
-		squashes += float64(v)
-	}
+	squashes := float64(c.TotalSquashes())
 	if squashes == 0 {
 		squashes = 1
 	}

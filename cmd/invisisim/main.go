@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"invisispec/internal/config"
 	"invisispec/internal/core"
@@ -40,6 +42,7 @@ func main() {
 		doCheck     = flag.Bool("check", false, "run the hardening layer's invariant checkers and forward-progress watchdog during the run")
 		checkEvery  = flag.Uint64("checkevery", 4096, "cycles between invariant sweeps (with -check)")
 		faultSeed   = flag.Int64("faultseed", 0, "non-zero: inject deterministic NoC/DRAM timing faults with this seed")
+		timeout     = flag.Duration("timeout", 0, "non-zero: abort the run after this much host wall-clock time (cooperative, via the simulation loop)")
 	)
 	flag.Parse()
 
@@ -72,7 +75,7 @@ func main() {
 	}
 
 	if *traceN > 0 {
-		check(traceRun(*name, parsec, d, cm, *traceN, *doCheck, *checkEvery, *faultSeed))
+		check(traceRun(*name, parsec, d, cm, *traceN, *doCheck, *checkEvery, *faultSeed, *timeout))
 		return
 	}
 	var opts []harness.Option
@@ -81,6 +84,11 @@ func main() {
 	}
 	if *faultSeed != 0 {
 		opts = append(opts, harness.WithFaultSeed(*faultSeed))
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts = append(opts, harness.WithContext(ctx))
 	}
 	var r harness.Result
 	if parsec {
@@ -116,8 +124,10 @@ func main() {
 
 // traceRun executes the workload printing core 0's first n committed
 // instructions — a quick way to see the architectural execution. The
-// hardening flags apply here too (a violation aborts the trace).
-func traceRun(name string, parsec bool, d config.Defense, cm config.Consistency, n int, doCheck bool, checkEvery uint64, faultSeed int64) error {
+// hardening flags apply here too (a violation aborts the trace), as does
+// -timeout (the manual step loop polls the deadline at the same stride the
+// harness path does).
+func traceRun(name string, parsec bool, d config.Defense, cm config.Consistency, n int, doCheck bool, checkEvery uint64, faultSeed int64, timeout time.Duration) error {
 	cores := 1
 	var progs []*isa.Program
 	if parsec {
@@ -140,6 +150,12 @@ func traceRun(name string, parsec bool, d config.Defense, cm config.Consistency,
 		// by hand (the run-loop helpers do this themselves).
 		stride = m.EnableChecking(invariant.Options{Interval: checkEvery}).Interval()
 	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	left := n
 	m.Cores[0].SetTracer(func(ev core.CommitEvent) {
 		if left <= 0 {
@@ -157,6 +173,11 @@ func traceRun(name string, parsec bool, d config.Defense, cm config.Consistency,
 	})
 	for left > 0 && !m.Done() && m.Cycle() < 10_000_000 {
 		m.Step()
+		if m.Cycle()%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("trace aborted at cycle %d: %w", m.Cycle(), err)
+			}
+		}
 		if stride > 0 && m.Cycle()%stride == 0 {
 			if err := m.CheckNow(); err != nil {
 				return err

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"invisispec/internal/config"
@@ -24,6 +25,7 @@ type Option func(*measureOpts)
 type measureOpts struct {
 	check     *invariant.Options
 	faultSeed *int64
+	ctx       context.Context
 }
 
 // WithChecking enables the invariant checker and forward-progress watchdog
@@ -36,6 +38,16 @@ func WithChecking(o invariant.Options) Option {
 // internal/faultinject) with the given seed.
 func WithFaultSeed(seed int64) Option {
 	return func(m *measureOpts) { m.faultSeed = &seed }
+}
+
+// WithContext attaches a context to the run: both windows poll it
+// cooperatively (every sim.ctxCheckStride cycles) and a cancelled or expired
+// context aborts the measurement with an error wrapping ctx.Err(). The
+// parallel runner uses this for per-job wall-clock timeouts and sweep-wide
+// cancellation; cancellation never perturbs the simulated state, only when
+// the loop stops.
+func WithContext(ctx context.Context) Option {
+	return func(m *measureOpts) { m.ctx = ctx }
 }
 
 // testPanicHook, when non-nil, runs inside Measure's recovery scope. The
@@ -115,8 +127,12 @@ func Measure(run config.Run, name string, progs []*isa.Program, warmup, measure 
 	if testPanicHook != nil {
 		testPanicHook()
 	}
+	runCtx := mo.ctx
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
 	budget := (warmup + measure) * budgetPerInstruction
-	if err := m.RunInstructions(warmup, budget); err != nil {
+	if err := m.RunInstructionsCtx(runCtx, warmup, budget); err != nil {
 		return Result{}, fmt.Errorf("%s: %w", ctx("warmup"), err)
 	}
 	startCycles := m.Cycle()
@@ -124,7 +140,7 @@ func Measure(run config.Run, name string, progs []*isa.Program, warmup, measure 
 	startTraffic := m.Stats.TrafficBytes
 	startDRAM := m.Stats.DRAMReads
 	window = "measure"
-	if err := m.RunInstructions(warmup+measure, budget); err != nil {
+	if err := m.RunInstructionsCtx(runCtx, warmup+measure, budget); err != nil {
 		return Result{}, fmt.Errorf("%s: %w", ctx("measure"), err)
 	}
 	r := Result{
@@ -166,6 +182,12 @@ func MeasurePARSEC(name string, d config.Defense, cm config.Consistency, warmup,
 
 // Sweep runs one workload under all five defenses for a consistency model
 // and returns results keyed by defense.
+//
+// Sweep is the serial reference implementation: it runs one job at a time in
+// defense order on the calling goroutine. The figure generators and benches
+// go through internal/runner instead, which shards the same jobs across a
+// worker pool; runner's determinism tests assert its aggregated output is
+// byte-identical to what this function produces.
 func Sweep(name string, parsec bool, cm config.Consistency, warmup, measure uint64) (map[config.Defense]Result, error) {
 	out := make(map[config.Defense]Result, 5)
 	for _, d := range config.AllDefenses() {

@@ -1,0 +1,288 @@
+// Package runner is the parallel experiment engine behind the figure
+// generators and benches: it shards an arbitrary (workload x defense x
+// consistency x fault-seed) job matrix across a bounded worker pool, runs
+// each job in its own isolated sim.Machine via harness.Measure, and
+// aggregates results in job-index order so parallel output is byte-identical
+// to serial output.
+//
+// Each simulated Machine is single-goroutine and fully deterministic, so the
+// matrix is embarrassingly parallel: workers share nothing but the job queue
+// and the results slice (disjoint slots). Determinism of the aggregate
+// therefore reduces to ordering, which the index-addressed results slice
+// pins regardless of completion order.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"invisispec/internal/config"
+	"invisispec/internal/harness"
+)
+
+// Job is one cell of the experiment matrix: a workload measured under one
+// defense and consistency model for a fixed instruction budget.
+type Job struct {
+	Workload    string
+	Parsec      bool // 8-core PARSEC machine instead of 1-core SPEC machine
+	Defense     config.Defense
+	Consistency config.Consistency
+	Warmup      uint64
+	Measure     uint64
+	// FaultSeed, when non-zero, enables deterministic fault injection with
+	// this seed (harness.WithFaultSeed).
+	FaultSeed int64
+	// Timeout, when non-zero, bounds the job's host wall-clock time. The
+	// deadline is enforced cooperatively inside the simulation loop (layered
+	// on the cycle-budget watchdog, which already bounds simulated time), so
+	// a timed-out job returns on the worker's own stack — no goroutine leaks.
+	Timeout time.Duration
+}
+
+// String names the job the way the figures label their bars.
+func (j Job) String() string {
+	return fmt.Sprintf("%s/%s/%s", j.Workload, j.Defense, j.Consistency)
+}
+
+// JobResult pairs a job with its measurement (or its error).
+type JobResult struct {
+	Job    Job
+	Index  int // position in the submitted matrix
+	Result harness.Result
+	// Err is the job's failure, if any: a measurement error (including
+	// sim.BudgetError), a context cancellation/timeout, or a recovered
+	// panic. A failed job never kills the pool; the rest of the matrix
+	// completes.
+	Err error
+	// HostNS is the job's host wall-clock duration in nanoseconds. It is the
+	// one nondeterministic field; the bench-JSON writer quarantines it in
+	// the host block so the deterministic payload stays byte-stable.
+	HostNS int64
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Jobs is the worker count. Zero or negative means runtime.GOMAXPROCS(0);
+	// the pool never exceeds the job count.
+	Jobs int
+	// Timeout is a default per-job wall-clock timeout applied to jobs that
+	// do not set their own. Zero means no timeout.
+	Timeout time.Duration
+	// Progress, when non-nil, receives one line per completed job with
+	// completed/total counts and an ETA extrapolated from throughput so far.
+	Progress io.Writer
+	// Extra harness options applied to every job (e.g. harness.WithChecking).
+	Harness []harness.Option
+
+	// measure replaces the harness call for tests (panic/fault injection at
+	// the pool layer). nil means measureJob.
+	measure func(ctx context.Context, j Job, extra []harness.Option) (harness.Result, error)
+}
+
+// workers resolves the pool size for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Jobs
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes the job matrix on a bounded worker pool and returns one
+// JobResult per job, in job order. It always returns len(jobs) results:
+// per-job failures (errors, timeouts, recovered panics) are recorded in the
+// job's slot without stopping the pool, and a cancelled context fails the
+// not-yet-started jobs with ctx.Err() while in-flight jobs abort at their
+// next context poll. All workers have exited by the time Run returns.
+func Run(ctx context.Context, jobs []Job, opts Options) []JobResult {
+	results := make([]JobResult, len(jobs))
+	for i := range results {
+		results[i] = JobResult{Job: jobs[i], Index: i}
+	}
+	if len(jobs) == 0 {
+		return results
+	}
+	measure := opts.measure
+	if measure == nil {
+		measure = measureJob
+	}
+
+	var (
+		wg    sync.WaitGroup
+		queue = make(chan int)
+		prog  = newProgress(opts.Progress, len(jobs))
+	)
+	for w := 0; w < opts.workers(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				r := &results[i]
+				start := time.Now()
+				r.Result, r.Err = runOne(ctx, jobs[i], opts, measure)
+				r.HostNS = time.Since(start).Nanoseconds()
+				prog.done(jobs[i], r.Err)
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case queue <- i:
+		case <-ctx.Done():
+			// Fail everything not yet handed to a worker; workers abort
+			// their in-flight job at the next cooperative context poll.
+			for j := i; j < len(jobs); j++ {
+				results[j].Err = fmt.Errorf("runner: %s not started: %w", jobs[j], ctx.Err())
+			}
+			break feed
+		}
+	}
+	close(queue)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job with its timeout applied and panics converted
+// to errors.
+func runOne(ctx context.Context, j Job, opts Options, measure func(context.Context, Job, []harness.Option) (harness.Result, error)) (res harness.Result, err error) {
+	timeout := j.Timeout
+	if timeout == 0 {
+		timeout = opts.Timeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		// harness.Measure recovers panics inside the simulator itself; this
+		// guards the pool against panics anywhere else on the job path
+		// (workload construction, option plumbing, test hooks) so one bad
+		// job cannot take down the other workers' jobs.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: %s: panic: %v", j, r)
+		}
+	}()
+	res, err = measure(ctx, j, opts.Harness)
+	if err != nil {
+		return harness.Result{}, fmt.Errorf("runner: %s: %w", j, err)
+	}
+	return res, nil
+}
+
+// measureJob is the production measurement path: harness.Measure on a fresh
+// machine, via the SPEC or PARSEC wrapper.
+func measureJob(ctx context.Context, j Job, extra []harness.Option) (harness.Result, error) {
+	opts := make([]harness.Option, 0, len(extra)+2)
+	opts = append(opts, extra...)
+	opts = append(opts, harness.WithContext(ctx))
+	if j.FaultSeed != 0 {
+		opts = append(opts, harness.WithFaultSeed(j.FaultSeed))
+	}
+	if j.Parsec {
+		return harness.MeasurePARSEC(j.Workload, j.Defense, j.Consistency, j.Warmup, j.Measure, opts...)
+	}
+	return harness.MeasureSPEC(j.Workload, j.Defense, j.Consistency, j.Warmup, j.Measure, opts...)
+}
+
+// progress serializes completion reporting across workers.
+type progress struct {
+	mu        sync.Mutex
+	w         io.Writer
+	total     int
+	completed int
+	failed    int
+	start     time.Time
+}
+
+func newProgress(w io.Writer, total int) *progress {
+	return &progress{w: w, total: total, start: time.Now()}
+}
+
+// done records one finished job and emits a progress line with an ETA.
+func (p *progress) done(j Job, err error) {
+	if p == nil || p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.completed++
+	if err != nil {
+		p.failed++
+	}
+	elapsed := time.Since(p.start)
+	eta := time.Duration(0)
+	if p.completed > 0 {
+		eta = time.Duration(float64(elapsed) / float64(p.completed) * float64(p.total-p.completed)).Round(time.Second)
+	}
+	status := "ok"
+	if err != nil {
+		status = "FAIL"
+	}
+	fmt.Fprintf(p.w, "runner: %d/%d done (%d failed)  last %-28s %-4s  elapsed %s  eta %s\n",
+		p.completed, p.total, p.failed, j, status,
+		elapsed.Round(time.Second), eta)
+}
+
+// Matrix builds the cross product (workloads x consistencies x defenses x
+// seeds) in deterministic order: workload-major, then consistency, then
+// defense, then seed — the order the figures print their rows. seeds may be
+// nil/empty for the standard fault-free matrix (one job per cell, seed 0).
+func Matrix(workloads []string, parsec bool, cms []config.Consistency, defenses []config.Defense, seeds []int64, warmup, measure uint64) []Job {
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	jobs := make([]Job, 0, len(workloads)*len(cms)*len(defenses)*len(seeds))
+	for _, w := range workloads {
+		for _, cm := range cms {
+			for _, d := range defenses {
+				for _, s := range seeds {
+					jobs = append(jobs, Job{
+						Workload: w, Parsec: parsec, Defense: d, Consistency: cm,
+						Warmup: warmup, Measure: measure, FaultSeed: s,
+					})
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// Sweep is the parallel counterpart of harness.Sweep: one workload under all
+// five defenses for one consistency model, sharded across the pool, results
+// keyed by defense. The aggregated map is identical to harness.Sweep's (the
+// runner tests assert this), just computed opts.Jobs-wide.
+func Sweep(ctx context.Context, name string, parsec bool, cm config.Consistency, warmup, measure uint64, opts Options) (map[config.Defense]harness.Result, error) {
+	jobs := Matrix([]string{name}, parsec, []config.Consistency{cm}, config.AllDefenses(), nil, warmup, measure)
+	results := Run(ctx, jobs, opts)
+	out := make(map[config.Defense]harness.Result, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, r.Job.Defense, r.Err)
+		}
+		out[r.Job.Defense] = r.Result
+	}
+	return out, nil
+}
+
+// FirstError returns the first failed job's error in matrix order (nil if
+// every job succeeded). Deterministic regardless of completion order.
+func FirstError(results []JobResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -110,13 +111,30 @@ func (m *Machine) Done() bool {
 	return true
 }
 
+// ctxCheckStride is how many cycles pass between context polls in the
+// context-aware run loops. The simulator itself stays wall-clock-free and
+// deterministic: the context only decides whether the loop keeps going, never
+// what it computes, so two runs of the same machine retire identical state
+// regardless of when (or whether) cancellation lands between strides.
+const ctxCheckStride = 1 << 10
+
 // RunToCompletion steps until every core halts (and write buffers drain) or
 // the cycle budget runs out. With checking enabled, a failed invariant or a
 // tripped forward-progress watchdog aborts the run with the typed error.
 func (m *Machine) RunToCompletion(maxCycles uint64) error {
+	return m.RunToCompletionCtx(context.Background(), maxCycles)
+}
+
+// RunToCompletionCtx is RunToCompletion with cooperative cancellation: the
+// context is polled every ctxCheckStride cycles and a cancelled or expired
+// context aborts the run with an error wrapping ctx.Err().
+func (m *Machine) RunToCompletionCtx(ctx context.Context, maxCycles uint64) error {
 	for !m.Done() {
 		if m.cycle >= maxCycles {
 			return m.budgetError(maxCycles)
+		}
+		if err := m.ctxTick(ctx); err != nil {
+			return err
 		}
 		m.Step()
 		if err := m.checkTick(); err != nil {
@@ -131,14 +149,36 @@ func (m *Machine) RunToCompletion(maxCycles uint64) error {
 // It is the fixed-work mode the figure harnesses use. With checking enabled,
 // invariant violations and deadlocks abort the run like RunToCompletion.
 func (m *Machine) RunInstructions(n uint64, maxCycles uint64) error {
+	return m.RunInstructionsCtx(context.Background(), n, maxCycles)
+}
+
+// RunInstructionsCtx is RunInstructions with cooperative cancellation (see
+// RunToCompletionCtx). The parallel experiment runner uses it to enforce
+// per-job wall-clock timeouts without leaking goroutines: the deadline
+// surfaces here, in the worker's own call stack.
+func (m *Machine) RunInstructionsCtx(ctx context.Context, n uint64, maxCycles uint64) error {
 	for m.Stats.TotalRetired() < n && !m.Done() {
 		if m.cycle >= maxCycles {
 			return m.budgetError(maxCycles)
+		}
+		if err := m.ctxTick(ctx); err != nil {
+			return err
 		}
 		m.Step()
 		if err := m.checkTick(); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ctxTick polls the context at the fixed stride.
+func (m *Machine) ctxTick(ctx context.Context) error {
+	if m.cycle%ctxCheckStride != 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sim: run aborted at cycle %d: %w", m.cycle, err)
 	}
 	return nil
 }

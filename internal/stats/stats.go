@@ -72,6 +72,16 @@ func (c TrafficClass) String() string {
 	return fmt.Sprintf("TrafficClass(%d)", int(c))
 }
 
+// TrafficClassNames lists the class names in counter order, for writers that
+// key a traffic split by name (the bench-JSON artifact).
+func TrafficClassNames() [NumTrafficClasses]string {
+	var out [NumTrafficClasses]string
+	for c := TrafficClass(0); c < NumTrafficClasses; c++ {
+		out[c] = c.String()
+	}
+	return out
+}
+
 // Core aggregates the counters of one simulated core.
 type Core struct {
 	Cycles   uint64
@@ -129,16 +139,21 @@ func (c *Core) MispredictRate() float64 {
 	return float64(c.Mispredicts) / float64(c.CondBranches)
 }
 
+// TotalSquashes returns squash events summed across all reasons.
+func (c *Core) TotalSquashes() uint64 {
+	var total uint64
+	for _, v := range c.Squashes {
+		total += v
+	}
+	return total
+}
+
 // SquashesPerMInst returns squash events per million retired instructions.
 func (c *Core) SquashesPerMInst() float64 {
 	if c.Retired == 0 {
 		return 0
 	}
-	var total uint64
-	for _, v := range c.Squashes {
-		total += v
-	}
-	return float64(total) * 1e6 / float64(c.Retired)
+	return float64(c.TotalSquashes()) * 1e6 / float64(c.Retired)
 }
 
 // Machine aggregates counters across cores plus shared-resource counters.
