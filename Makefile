@@ -9,7 +9,7 @@ GO ?= go
 JOBS ?= 4
 SMOKE_FLAGS = -fig 4 -warmup 5000 -measure 20000 -jobs $(JOBS) -quiet
 
-.PHONY: all build test vet race check ci bench smoke benchdiff baseline
+.PHONY: all build test vet race check ci bench smoke benchdiff baseline leakscan
 
 all: build
 
@@ -31,7 +31,7 @@ check: build vet race
 
 # What CI invokes; kept separate from `check` so CI-only steps can be
 # attached without changing the local gate.
-ci: check
+ci: check leakscan
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -43,6 +43,14 @@ smoke:
 
 benchdiff: smoke
 	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_smoke.json
+
+# Security regression gate: scan the fixed smoke corpus of transient
+# attacks against every defense and fail if any secure configuration
+# leaks, any expected leak (undefended Base, designed threat-model gaps)
+# stops leaking, or any trial errors. Writes the deterministic
+# leakage-report/v1 artifact CI uploads next to the bench artifact.
+leakscan:
+	$(GO) run ./cmd/leakscan -corpus smoke -trials 3 -jobs $(JOBS) -json LEAKAGE_smoke.json
 
 # Regenerate the committed baseline (host block omitted so the artifact is
 # byte-stable across machines). Run after intentional timing-model changes,

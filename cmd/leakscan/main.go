@@ -1,0 +1,124 @@
+// Command leakscan is the security regression gate: it scans a corpus of
+// transient-attack variants (internal/leakage) against every defense
+// configuration, prints the attack x defense verdict table, optionally
+// writes the deterministic leakage-report/v1 JSON artifact, and exits
+// non-zero when any cell violates the defense-outcome matrix — a secure
+// configuration that leaks, an undefended baseline that fails to leak
+// (the corpus went stale), or a trial that errored.
+//
+// Corpora:
+//
+//	-corpus smoke  the fixed six-variant CI corpus (default)
+//	-corpus fuzz   -n variants generated deterministically from -seed
+//
+// The report's deterministic payload is byte-identical at any -jobs
+// width; host facts (wall time, worker count) are quarantined in the
+// optional host block (-host).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"invisispec/internal/leakage"
+)
+
+func main() {
+	var (
+		corpus   = flag.String("corpus", "smoke", "attack corpus: smoke or fuzz")
+		seed     = flag.Int64("seed", 1, "fuzz corpus seed (-corpus fuzz)")
+		n        = flag.Int("n", 12, "fuzz corpus size (-corpus fuzz)")
+		trials   = flag.Int("trials", 3, "trials per (attack, defense) cell")
+		jobs     = flag.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-trial wall-clock timeout (0 = none)")
+		jsonPath = flag.String("json", "", "write the leakage-report/v1 JSON artifact here")
+		name     = flag.String("name", "", "report name (defaults to the corpus name)")
+		host     = flag.Bool("host", false, "include the nondeterministic host block in the JSON artifact")
+		verbose  = flag.Bool("v", false, "print per-cell progress lines to stderr")
+	)
+	flag.Parse()
+
+	var specs []leakage.AttackSpec
+	switch *corpus {
+	case "smoke":
+		specs = leakage.SmokeCorpus()
+	case "fuzz":
+		specs = leakage.Corpus(*seed, *n)
+	default:
+		fmt.Fprintf(os.Stderr, "leakscan: unknown corpus %q (want smoke or fuzz)\n", *corpus)
+		os.Exit(2)
+	}
+	reportName := *name
+	if reportName == "" {
+		reportName = *corpus
+	}
+
+	opts := leakage.ScanOptions{
+		Trials:  *trials,
+		Jobs:    *jobs,
+		Timeout: *timeout,
+		Name:    reportName,
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	start := time.Now()
+	rep, err := leakage.Scan(context.Background(), specs, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakscan:", err)
+		os.Exit(2)
+	}
+	if *corpus == "fuzz" {
+		rep.Seed, rep.Count = *seed, *n
+	}
+	if *host {
+		rep.Host = &leakage.ReportHost{
+			WallMS: float64(time.Since(start).Microseconds()) / 1000,
+			Jobs:   *jobs,
+			CPUs:   runtime.NumCPU(),
+			GoOS:   runtime.GOOS,
+			GoVer:  runtime.Version(),
+		}
+	}
+
+	fmt.Printf("leakscan: %d attacks x %d defenses, %d trials each\n\n",
+		len(specs), len(rep.Defenses), rep.Trials)
+	rep.WriteTable(os.Stdout)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leakscan:", err)
+			os.Exit(2)
+		}
+		if err := leakage.WriteJSON(f, rep); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "leakscan:", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "leakscan:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("\nreport written to %s\n", *jsonPath)
+	}
+
+	if v := rep.Violations(); len(v) > 0 {
+		fmt.Fprintf(os.Stderr, "\nleakscan: %d VIOLATION(S):\n", len(v))
+		for _, c := range v {
+			detail := fmt.Sprintf("observed %s, expected %s", c.Verdict, c.Expected)
+			if c.Error != "" {
+				detail = "trial error: " + c.Error
+			} else if c.Expected == leakage.VerdictLeak && c.Verdict == leakage.VerdictLeak {
+				detail = fmt.Sprintf("leak recovered byte %d, want %d", c.RecoveredByte, c.Secret)
+			}
+			fmt.Fprintf(os.Stderr, "  %s under %s: %s\n", c.Attack, c.Defense, detail)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nleakscan: PASS — every defense blocks what it claims to block, every expected leak observed")
+}

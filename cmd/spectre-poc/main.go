@@ -4,82 +4,80 @@
 // and prints the attacker's measured access latency for every probe line.
 // On Base, only the secret-indexed line is a cache hit; under IS-Sp every
 // probe misses and the secret is not recoverable.
+//
+// The verdict comes from the statistical distinguisher in internal/leakage
+// (repeated trials, hot-line test against the scan's median), not a bare
+// argmin, and the process exits non-zero when the outcome contradicts the
+// paper's claim: Base must recover the secret and IS-Sp must not. That
+// makes the PoC itself a regression test.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"invisispec/internal/config"
-	"invisispec/internal/isa"
-	"invisispec/internal/sim"
-	"invisispec/internal/workload"
+	"invisispec/internal/leakage"
 )
 
 func main() {
 	var (
-		secret = flag.Int("secret", 84, "secret byte value (the paper uses 84)")
-		full   = flag.Bool("full", false, "print all 256 probe latencies, not a summary")
+		secret = flag.Int("secret", 84, "secret byte value, 1-255 (the paper uses 84)")
+		full   = flag.Bool("full", false, "print all probe latencies from a single fault-free run, not a summary")
+		trials = flag.Int("trials", 3, "trials per configuration fed to the distinguisher")
 	)
 	flag.Parse()
-	if *secret < 0 || *secret > 255 {
-		fmt.Fprintln(os.Stderr, "spectre-poc: secret must be a byte")
+	if *secret < 1 || *secret > 255 {
+		fmt.Fprintln(os.Stderr, "spectre-poc: secret must be 1-255 (probe line 0 collects training residue)")
+		os.Exit(1)
+	}
+
+	spec := leakage.CanonicalSpectreSpec(byte(*secret))
+	defenses := []config.Defense{config.Base, config.ISSpectre}
+	rep, err := leakage.Scan(context.Background(), []leakage.AttackSpec{spec}, leakage.ScanOptions{
+		Defenses: defenses,
+		Trials:   *trials,
+		Name:     "spectre-poc",
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spectre-poc:", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("Spectre variant-1 PoC, secret value %d (paper Figure 5)\n\n", *secret)
-	for _, d := range []config.Defense{config.Base, config.ISSpectre} {
-		lat := attack(d, byte(*secret))
-		idx, best := argmin(lat)
+	failed := false
+	for i, d := range defenses {
+		c := rep.Cells[i]
 		fmt.Printf("=== %s ===\n", d)
 		if *full {
-			for i := 0; i < 256; i += 8 {
-				for j := i; j < i+8; j++ {
-					fmt.Printf("%3d:%4d ", j, lat[j])
+			lats, err := leakage.SingleTrialLatencies(context.Background(), spec, d)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spectre-poc:", err)
+				os.Exit(1)
+			}
+			for i := 0; i < len(lats); i += 8 {
+				for j := i; j < i+8 && j < len(lats); j++ {
+					fmt.Printf("%3d:%4d ", j, lats[j])
 				}
 				fmt.Println()
 			}
 		}
-		med := median(lat)
-		fmt.Printf("median probe latency %d cycles; fastest line %d at %d cycles\n", med, idx, best)
+		fmt.Printf("median probe latency %.0f cycles; secret line at %.0f cycles; hit rate %.0f%% over %d trials\n",
+			c.MedianLatency, c.SecretLatency, 100*c.HitRate, c.Trials)
 		switch {
-		case d == config.Base && idx == *secret && best*2 < med:
-			fmt.Printf("=> ATTACK SUCCEEDED: recovered secret %d\n\n", idx)
-		case d != config.Base && (idx != *secret || best*2 >= med):
-			fmt.Printf("=> attack defeated: no probe line stands out\n\n")
+		case d == config.Base && c.Verdict == leakage.VerdictLeak && c.RecoveredByte == *secret:
+			fmt.Printf("=> ATTACK SUCCEEDED: recovered secret %d (confidence %.2f)\n\n", c.RecoveredByte, c.Confidence)
+		case d != config.Base && c.Verdict == leakage.VerdictBlocked:
+			fmt.Printf("=> attack defeated: no probe line stands out (confidence %.2f)\n\n", c.Confidence)
 		default:
-			fmt.Printf("=> unexpected outcome\n\n")
+			failed = true
+			fmt.Printf("=> UNEXPECTED OUTCOME: verdict %s, recovered byte %d\n\n", c.Verdict, c.RecoveredByte)
 		}
 	}
-}
-
-func attack(d config.Defense, secret byte) [workload.SpectreProbeLines]uint64 {
-	run := config.Run{Machine: config.Default(1), Defense: d, Consistency: config.TSO}
-	m := sim.MustNew(run, []*isa.Program{workload.SpectreV1(secret)})
-	if err := m.RunToCompletion(20_000_000); err != nil {
-		fmt.Fprintln(os.Stderr, "spectre-poc:", err)
+	if failed {
+		fmt.Fprintln(os.Stderr, "spectre-poc: outcome contradicts the paper's defense claim")
 		os.Exit(1)
 	}
-	return workload.SpectreScanLatencies(m.Mem)
-}
-
-func argmin(lat [workload.SpectreProbeLines]uint64) (int, uint64) {
-	best := 0
-	for i := range lat {
-		if lat[i] < lat[best] {
-			best = i
-		}
-	}
-	return best, lat[best]
-}
-
-func median(lat [workload.SpectreProbeLines]uint64) uint64 {
-	s := append([]uint64(nil), lat[:]...)
-	for i := 1; i < len(s); i++ { // insertion sort; n is tiny
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-	return s[len(s)/2]
 }

@@ -160,6 +160,51 @@ func Measure(run config.Run, name string, progs []*isa.Program, warmup, measure 
 	return r, nil
 }
 
+// Complete runs progs under run until every core halts (or maxCycles
+// elapse), with the same option surface as Measure — invariant checking,
+// deterministic fault injection, cooperative context cancellation — plus
+// the same panic recovery and error annotation. It returns the finished
+// machine so callers can extract results from its functional memory; the
+// leakage scanner (internal/leakage) reads the attacker's per-probe-line
+// latencies this way.
+func Complete(run config.Run, name string, progs []*isa.Program, maxCycles uint64, opts ...Option) (m *sim.Machine, err error) {
+	var mo measureOpts
+	for _, o := range opts {
+		o(&mo)
+	}
+	m, err = sim.New(run, progs)
+	if err != nil {
+		return nil, fmt.Errorf("%s [%v/%v] setup: %w", name, run.Defense, run.Consistency, err)
+	}
+	if mo.faultSeed != nil {
+		m.SeedFaults(*mo.faultSeed)
+	}
+	if mo.check != nil {
+		m.EnableChecking(*mo.check)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			cycle := m.Cycle()
+			dump := invariant.Dump(&invariant.Target{
+				Cycle: cycle, Run: run, Cores: m.Cores, Hier: m.Hier,
+			})
+			m = nil
+			err = fmt.Errorf("%s [%v/%v]: panic at cycle %d: %v\n%s", name, run.Defense, run.Consistency, cycle, r, dump)
+		}
+	}()
+	if testPanicHook != nil {
+		testPanicHook()
+	}
+	runCtx := mo.ctx
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
+	if err := m.RunToCompletionCtx(runCtx, maxCycles); err != nil {
+		return nil, fmt.Errorf("%s [%v/%v]: %w", name, run.Defense, run.Consistency, err)
+	}
+	return m, nil
+}
+
 // MeasureSPEC measures one SPEC-like kernel on the 1-core machine.
 func MeasureSPEC(name string, d config.Defense, cm config.Consistency, warmup, measure uint64, opts ...Option) (Result, error) {
 	prog, err := workload.SPEC(name)

@@ -1,0 +1,141 @@
+package leakage
+
+import (
+	"testing"
+
+	"invisispec/internal/config"
+)
+
+func TestSmokeCorpusValid(t *testing.T) {
+	specs := SmokeCorpus()
+	if len(specs) < 5 {
+		t.Fatalf("smoke corpus has %d specs, want at least 5", len(specs))
+	}
+	seen := map[string]bool{}
+	var templates = map[Template]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("smoke spec invalid: %v", err)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate smoke spec ID %s", s.ID)
+		}
+		seen[s.ID] = true
+		templates[s.Template] = true
+		if _, err := s.Programs(); err != nil {
+			t.Errorf("%s does not assemble: %v", s.ID, err)
+		}
+	}
+	for _, want := range []Template{TemplateSpectre, TemplateSpectreCross, TemplateMeltdown} {
+		if !templates[want] {
+			t.Errorf("smoke corpus has no %s variant", want)
+		}
+	}
+}
+
+func TestSmokeCorpusCoversThreatModelBoundary(t *testing.T) {
+	found := false
+	for _, s := range SmokeCorpus() {
+		if s.Annotate && s.TrustAnnotations {
+			found = true
+			if s.Expect(config.ISSpectre) != VerdictLeak || s.Expect(config.ISFuture) != VerdictLeak {
+				t.Errorf("%s: annotated spec under trust must expect a leak on IS defenses", s.ID)
+			}
+			if s.Expect(config.FenceSpectre) != VerdictBlocked {
+				t.Errorf("%s: fences still block annotated loads", s.ID)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("smoke corpus has no annotated+trusted variant")
+	}
+}
+
+func TestCorpusDeterministicAndPrefix(t *testing.T) {
+	a := Corpus(42, 8)
+	b := Corpus(42, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spec %d differs across identical generations: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	longer := Corpus(42, 12)
+	for i := range a {
+		if a[i] != longer[i] {
+			t.Fatalf("Corpus(42, 8) is not a prefix of Corpus(42, 12) at %d", i)
+		}
+	}
+	other := Corpus(43, 8)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusSpecsAssemble(t *testing.T) {
+	for _, s := range Corpus(7, 16) {
+		if err := s.Validate(); err != nil {
+			t.Errorf("fuzzed spec invalid: %v", err)
+			continue
+		}
+		progs, err := s.Programs()
+		if err != nil {
+			t.Errorf("%s does not assemble: %v", s.ID, err)
+			continue
+		}
+		if len(progs) != s.Cores() {
+			t.Errorf("%s: %d programs for %d cores", s.ID, len(progs), s.Cores())
+		}
+	}
+}
+
+func TestExpectMatrix(t *testing.T) {
+	canonical := CanonicalSpectreSpec(84)
+	noFB := canonical
+	noFB.FlushBounds = false
+	noFP := canonical
+	noFP.FlushProbe = false
+	meltdown := AttackSpec{ID: "m", Template: TemplateMeltdown, Secret: 9}
+	cases := []struct {
+		name string
+		spec AttackSpec
+		want map[config.Defense]Verdict
+	}{
+		{"canonical", canonical, map[config.Defense]Verdict{
+			config.Base:         VerdictLeak,
+			config.FenceSpectre: VerdictBlocked,
+			config.ISSpectre:    VerdictBlocked,
+			config.FenceFuture:  VerdictBlocked,
+			config.ISFuture:     VerdictBlocked,
+		}},
+		{"no-flush-bounds", noFB, map[config.Defense]Verdict{
+			config.Base:      VerdictBlocked,
+			config.ISSpectre: VerdictBlocked,
+		}},
+		{"no-flush-probe", noFP, map[config.Defense]Verdict{
+			config.Base:      VerdictInconclusive,
+			config.ISFuture:  VerdictInconclusive,
+			config.ISSpectre: VerdictInconclusive,
+		}},
+		{"meltdown", meltdown, map[config.Defense]Verdict{
+			config.Base:         VerdictLeak,
+			config.FenceSpectre: VerdictLeak,
+			config.ISSpectre:    VerdictLeak,
+			config.FenceFuture:  VerdictBlocked,
+			config.ISFuture:     VerdictBlocked,
+		}},
+	}
+	for _, tc := range cases {
+		for d, want := range tc.want {
+			if got := tc.spec.Expect(d); got != want {
+				t.Errorf("%s under %s: Expect = %v, want %v", tc.name, d, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package leakage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Verdict classifies one (attack, defense) cell.
+type Verdict int
+
+const (
+	// VerdictBlocked: the probe scan shows no covert-channel signal — the
+	// defense (or a disabled attack ingredient) closed the leak.
+	VerdictBlocked Verdict = iota
+	// VerdictLeak: the scan recovers the planted secret reliably across
+	// trials.
+	VerdictLeak
+	// VerdictInconclusive: the scan shows hot lines but does not recover
+	// the secret — cache residue, a broken attack, or a half-closed
+	// channel. The gate treats unexpected Inconclusive as a violation:
+	// "we can't tell" is not a security result.
+	VerdictInconclusive
+)
+
+// String names the verdict the way the report and table print it.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictBlocked:
+		return "blocked"
+	case VerdictLeak:
+		return "leak"
+	case VerdictInconclusive:
+		return "inconclusive"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// MarshalText serializes the verdict by name so report JSON is readable
+// and stable against enum reordering.
+func (v Verdict) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText parses a verdict name.
+func (v *Verdict) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "blocked":
+		*v = VerdictBlocked
+	case "leak":
+		*v = VerdictLeak
+	case "inconclusive":
+		*v = VerdictInconclusive
+	default:
+		return fmt.Errorf("leakage: unknown verdict %q", b)
+	}
+	return nil
+}
+
+// Thresholds tunes the distinguisher. The zero value selects
+// DefaultThresholds.
+type Thresholds struct {
+	// HitRatio is the hot-line test: probe line i is hot in a trial when
+	// latency[i] * HitRatio < median(latencies). 2 separates an LLC hit
+	// (~20 cycles) or L1 hit (~1-3) from the DRAM floor (~115) with a wide
+	// guard band on both sides.
+	HitRatio float64 `json:"hit_ratio"`
+	// LeakRate is the leak threshold: the cell is a leak when the secret
+	// is recovered in at least this fraction of trials. A strict majority
+	// (0.6) tolerates the occasional fault-injected trial whose noise
+	// closes the speculation window — a real attack under timing noise
+	// misses sometimes — while still requiring most trials to agree.
+	LeakRate float64 `json:"leak_rate"`
+	// BlockRate is the blocked threshold: the cell is blocked when at most
+	// this fraction of trials shows ANY hot line. Between the two rates
+	// the cell is inconclusive.
+	BlockRate float64 `json:"block_rate"`
+}
+
+// DefaultThresholds returns the distinguisher settings the scanner and
+// CLI default to.
+func DefaultThresholds() Thresholds {
+	return Thresholds{HitRatio: 2, LeakRate: 0.6, BlockRate: 0.25}
+}
+
+// orDefault resolves the zero value to the defaults.
+func (t Thresholds) orDefault() Thresholds {
+	if t == (Thresholds{}) {
+		return DefaultThresholds()
+	}
+	return t
+}
+
+// Analysis is the distinguisher's summary of one (attack, defense) cell
+// over repeated trials.
+type Analysis struct {
+	// Verdict is the classification under the thresholds.
+	Verdict Verdict `json:"verdict"`
+	// RecoveredByte is the majority-vote recovered secret across trials,
+	// or -1 when the majority of trials recovered nothing.
+	RecoveredByte int `json:"recovered_byte"`
+	// HitRate is the fraction of trials whose recovered byte equals the
+	// planted secret.
+	HitRate float64 `json:"hit_rate"`
+	// HotRate is the fraction of trials with at least one hot probe line.
+	HotRate float64 `json:"hot_rate"`
+	// Margin is the mean over trials of (median - latency[secret])/median:
+	// how far the secret line sits below the scan's latency floor,
+	// normalized. ~0 when blocked, ~0.8+ for a clean LLC-hit leak.
+	Margin float64 `json:"margin"`
+	// SNR is the mean secret-line signal (median - latency[secret])
+	// divided by the standard deviation of the non-secret lines'
+	// deviations from the median (floored at 1 cycle): signal strength in
+	// units of scan noise.
+	SNR float64 `json:"snr"`
+	// Confidence scores the verdict: the supporting trial fraction for
+	// leak (HitRate) and blocked (1 - HotRate), 0 for inconclusive.
+	Confidence float64 `json:"confidence"`
+	// MedianLatency and SecretLatency are per-trial means of the scan's
+	// median latency and the secret line's latency, for reading reports
+	// without the raw distributions.
+	MedianLatency float64 `json:"median_latency"`
+	// SecretLatency is the mean latency of the secret's probe line.
+	SecretLatency float64 `json:"secret_latency"`
+}
+
+// Analyze classifies one cell from its per-trial probe-line latency
+// distributions. trials[t][i] is the latency of probe line i in trial t;
+// secret is the planted byte (the probe index the attack should light
+// up).
+//
+// Per trial: the median latency estimates the cold floor (at most a
+// handful of the lines are hot, so the median is robust to the signal
+// itself); a line is hot when it beats the median by HitRatio; the
+// recovered byte is the LOWEST hot index, because the transient access
+// touches exactly the secret line while the prefetcher may warm lines
+// above it. Across trials: the cell leaks if the secret is recovered in
+// ≥ LeakRate of trials, is blocked if ≤ BlockRate of trials show any hot
+// line, and is inconclusive otherwise (e.g. a stray hot line that is not
+// the secret in every trial).
+func Analyze(trials [][]uint64, secret int, th Thresholds) Analysis {
+	th = th.orDefault()
+	a := Analysis{RecoveredByte: -1}
+	if len(trials) == 0 {
+		a.Verdict = VerdictInconclusive
+		return a
+	}
+	var (
+		hits, hots     int
+		marginSum      float64
+		snrSum         float64
+		medSum, secSum float64
+		votes          = map[int]int{}
+	)
+	for _, lat := range trials {
+		med := medianU64(lat)
+		recovered := -1
+		for i, l := range lat {
+			if float64(l)*th.HitRatio < float64(med) {
+				recovered = i
+				break
+			}
+		}
+		if recovered >= 0 {
+			hots++
+		}
+		if recovered == secret {
+			hits++
+		}
+		votes[recovered]++
+		var secLat float64
+		if secret >= 0 && secret < len(lat) {
+			secLat = float64(lat[secret])
+		}
+		medSum += float64(med)
+		secSum += secLat
+		if med > 0 {
+			marginSum += (float64(med) - secLat) / float64(med)
+		}
+		// Noise: spread of the non-secret lines around the median.
+		var sq float64
+		n := 0
+		for i, l := range lat {
+			if i == secret {
+				continue
+			}
+			d := float64(l) - float64(med)
+			sq += d * d
+			n++
+		}
+		noise := 1.0
+		if n > 0 {
+			if s := math.Sqrt(sq / float64(n)); s > noise {
+				noise = s
+			}
+		}
+		snrSum += (float64(med) - secLat) / noise
+	}
+	n := float64(len(trials))
+	a.HitRate = float64(hits) / n
+	a.HotRate = float64(hots) / n
+	a.Margin = marginSum / n
+	a.SNR = snrSum / n
+	a.MedianLatency = medSum / n
+	a.SecretLatency = secSum / n
+	a.RecoveredByte = majority(votes)
+	switch {
+	case a.HitRate >= th.LeakRate:
+		a.Verdict = VerdictLeak
+		a.Confidence = a.HitRate
+	case a.HotRate <= th.BlockRate:
+		a.Verdict = VerdictBlocked
+		a.Confidence = 1 - a.HotRate
+	default:
+		a.Verdict = VerdictInconclusive
+	}
+	return a
+}
+
+// medianU64 returns the median of xs (upper of the two middles for even
+// lengths — the scan wants the cold floor, so rounding up is harmless).
+func medianU64(xs []uint64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]uint64, len(xs))
+	copy(s, xs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// majority returns the most-voted recovered byte, breaking ties toward
+// the smaller value so aggregation is deterministic.
+func majority(votes map[int]int) int {
+	best, bestN := -1, -1
+	keys := make([]int, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if votes[k] > bestN {
+			best, bestN = k, votes[k]
+		}
+	}
+	return best
+}

@@ -1,0 +1,140 @@
+package leakage
+
+import "testing"
+
+// synthTrial builds one synthetic probe-line latency scan: every line at
+// the cold floor except the listed hot lines.
+func synthTrial(n int, cold uint64, hot map[int]uint64) []uint64 {
+	lat := make([]uint64, n)
+	for i := range lat {
+		lat[i] = cold
+	}
+	for i, l := range hot {
+		lat[i] = l
+	}
+	return lat
+}
+
+func TestAnalyzeCleanLeak(t *testing.T) {
+	// Every trial: secret line is an L1-fast outlier against a DRAM floor.
+	var trials [][]uint64
+	for i := 0; i < 5; i++ {
+		trials = append(trials, synthTrial(256, 115, map[int]uint64{84: 2}))
+	}
+	a := Analyze(trials, 84, Thresholds{})
+	if a.Verdict != VerdictLeak {
+		t.Fatalf("verdict = %v, want leak", a.Verdict)
+	}
+	if a.RecoveredByte != 84 {
+		t.Fatalf("recovered = %d, want 84", a.RecoveredByte)
+	}
+	if a.HitRate != 1 || a.Confidence != 1 {
+		t.Fatalf("hit rate = %v, confidence = %v, want 1, 1", a.HitRate, a.Confidence)
+	}
+	if a.Margin < 0.9 {
+		t.Fatalf("margin = %v, want close to 1", a.Margin)
+	}
+	if a.SNR < 10 {
+		t.Fatalf("SNR = %v, want strong signal", a.SNR)
+	}
+}
+
+func TestAnalyzeNoisyLeak(t *testing.T) {
+	// 3 of 5 trials recover the secret; 2 miss entirely (the speculation
+	// window closed under noise). A strict majority still means leak.
+	trials := [][]uint64{
+		synthTrial(256, 115, map[int]uint64{84: 20}),
+		synthTrial(256, 115, nil),
+		synthTrial(256, 115, map[int]uint64{84: 23}),
+		synthTrial(256, 115, nil),
+		synthTrial(256, 115, map[int]uint64{84: 18}),
+	}
+	a := Analyze(trials, 84, Thresholds{})
+	if a.Verdict != VerdictLeak {
+		t.Fatalf("verdict = %v, want leak", a.Verdict)
+	}
+	if a.RecoveredByte != 84 {
+		t.Fatalf("recovered = %d, want 84", a.RecoveredByte)
+	}
+	if a.HitRate != 0.6 {
+		t.Fatalf("hit rate = %v, want 0.6", a.HitRate)
+	}
+}
+
+func TestAnalyzeNoLeak(t *testing.T) {
+	// Flat scans with mild jitter: no hot line anywhere.
+	trials := [][]uint64{
+		synthTrial(256, 115, map[int]uint64{10: 117, 200: 119}),
+		synthTrial(256, 115, map[int]uint64{42: 121}),
+		synthTrial(256, 115, nil),
+	}
+	a := Analyze(trials, 84, Thresholds{})
+	if a.Verdict != VerdictBlocked {
+		t.Fatalf("verdict = %v, want blocked", a.Verdict)
+	}
+	if a.RecoveredByte != -1 {
+		t.Fatalf("recovered = %d, want -1", a.RecoveredByte)
+	}
+	if a.Confidence != 1 {
+		t.Fatalf("confidence = %v, want 1", a.Confidence)
+	}
+}
+
+func TestAnalyzeWrongLineInconclusive(t *testing.T) {
+	// Every trial shows a hot line that is NOT the secret (e.g. training
+	// residue on line 0 when the probe array is not flushed): too hot to
+	// call blocked, wrong line to call leak.
+	var trials [][]uint64
+	for i := 0; i < 4; i++ {
+		trials = append(trials, synthTrial(256, 115, map[int]uint64{0: 2}))
+	}
+	a := Analyze(trials, 84, Thresholds{})
+	if a.Verdict != VerdictInconclusive {
+		t.Fatalf("verdict = %v, want inconclusive", a.Verdict)
+	}
+	if a.RecoveredByte != 0 {
+		t.Fatalf("recovered = %d, want 0 (the residue line)", a.RecoveredByte)
+	}
+	if a.Confidence != 0 {
+		t.Fatalf("confidence = %v, want 0", a.Confidence)
+	}
+}
+
+func TestAnalyzeLowestHotIndexWins(t *testing.T) {
+	// The prefetcher may warm lines above the secret; the recovered byte
+	// is the lowest hot index.
+	trials := [][]uint64{
+		synthTrial(256, 115, map[int]uint64{84: 2, 85: 3, 86: 20}),
+	}
+	a := Analyze(trials, 84, Thresholds{})
+	if a.Verdict != VerdictLeak || a.RecoveredByte != 84 {
+		t.Fatalf("verdict = %v recovered = %d, want leak 84", a.Verdict, a.RecoveredByte)
+	}
+}
+
+func TestAnalyzeEmptyTrials(t *testing.T) {
+	a := Analyze(nil, 84, Thresholds{})
+	if a.Verdict != VerdictInconclusive || a.RecoveredByte != -1 {
+		t.Fatalf("empty trials: verdict = %v recovered = %d, want inconclusive -1", a.Verdict, a.RecoveredByte)
+	}
+}
+
+func TestVerdictTextRoundTrip(t *testing.T) {
+	for _, v := range []Verdict{VerdictBlocked, VerdictLeak, VerdictInconclusive} {
+		b, err := v.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Verdict
+		if err := got.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("round trip %v -> %s -> %v", v, b, got)
+		}
+	}
+	var v Verdict
+	if err := v.UnmarshalText([]byte("bogus")); err == nil {
+		t.Fatal("unmarshal of bogus verdict succeeded")
+	}
+}

@@ -1,0 +1,158 @@
+package leakage
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"invisispec/internal/config"
+)
+
+// TestAnnotatedLeakReopensUnderTrust is the threat-model boundary table
+// test: the safe-annotated Spectre variant under TrustSafeAnnotations
+// must leak again on the InvisiSpec defenses (the annotation bypasses the
+// USL machinery, so a wrong safety proof re-opens the channel), stay
+// blocked under fences, and the report must classify those leaks as
+// expected — violations of nothing.
+func TestAnnotatedLeakReopensUnderTrust(t *testing.T) {
+	spec := AttackSpec{
+		Template:         TemplateSpectre,
+		Secret:           84,
+		TrainRounds:      16,
+		ProbeLines:       256,
+		ProbeStride:      64,
+		FlushBounds:      true,
+		FlushProbe:       true,
+		Annotate:         true,
+		TrustAnnotations: true,
+	}.withID()
+	rep, err := Scan(context.Background(), []AttackSpec{spec}, ScanOptions{
+		Defenses: []config.Defense{config.Base, config.ISSpectre, config.ISFuture},
+		Trials:   1,
+		Name:     "annotated-boundary",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Verdict != VerdictLeak {
+			t.Errorf("%s under %s: verdict %v, want leak (annotation bypasses the USL path)", c.Attack, c.Defense, c.Verdict)
+		}
+		if c.RecoveredByte != 84 {
+			t.Errorf("%s under %s: recovered %d, want 84", c.Attack, c.Defense, c.RecoveredByte)
+		}
+		if !c.ExpectedLeak {
+			t.Errorf("%s under %s: leak not flagged as expected", c.Attack, c.Defense)
+		}
+		if c.Violation {
+			t.Errorf("%s under %s: expected leak reported as a violation", c.Attack, c.Defense)
+		}
+	}
+}
+
+// TestControlVariants checks the two designed controls: removing the
+// bounds flush closes the speculation window even on Base, and skipping
+// the probe flush leaves training residue the distinguisher must refuse
+// to classify.
+func TestControlVariants(t *testing.T) {
+	noFB := CanonicalSpectreSpec(84)
+	noFB.FlushBounds = false
+	noFB = noFB.withID()
+	noFP := CanonicalSpectreSpec(84)
+	noFP.FlushProbe = false
+	noFP = noFP.withID()
+	rep, err := Scan(context.Background(), []AttackSpec{noFB, noFP}, ScanOptions{
+		Defenses: []config.Defense{config.Base},
+		Trials:   1,
+		Name:     "controls",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Cells[0].Verdict; got != VerdictBlocked {
+		t.Errorf("no-flush-bounds on Base: verdict %v, want blocked (window closes)", got)
+	}
+	if got := rep.Cells[1].Verdict; got != VerdictInconclusive {
+		t.Errorf("no-flush-probe on Base: verdict %v, want inconclusive (residue on line 0)", got)
+	}
+	for _, c := range rep.Cells {
+		if c.Violation {
+			t.Errorf("%s: control variant flagged as violation", c.Attack)
+		}
+	}
+}
+
+// TestScanDeterministicAcrossWorkers is the artifact-stability criterion:
+// the JSON report must be byte-identical between a serial scan and a
+// 4-worker scan of the same corpus.
+func TestScanDeterministicAcrossWorkers(t *testing.T) {
+	specs := []AttackSpec{CanonicalSpectreSpec(84)}
+	opts := ScanOptions{
+		Defenses: []config.Defense{config.Base, config.ISSpectre},
+		Trials:   2,
+		Name:     "determinism",
+	}
+	var bufs [2]bytes.Buffer
+	for i, jobs := range []int{1, 4} {
+		o := opts
+		o.Jobs = jobs
+		rep, err := Scan(context.Background(), specs, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&bufs[i], rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatalf("report differs between 1 and 4 workers:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", bufs[0].String(), bufs[1].String())
+	}
+}
+
+// TestScanReportRoundTrip checks the artifact survives a write/read cycle
+// and the schema tag is enforced.
+func TestScanReportRoundTrip(t *testing.T) {
+	rep, err := Scan(context.Background(), []AttackSpec{CanonicalSpectreSpec(23)}, ScanOptions{
+		Defenses: []config.Defense{config.Base},
+		Trials:   1,
+		Name:     "roundtrip",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(rep.Cells) || got.Cells[0] != rep.Cells[0] {
+		t.Fatalf("report did not round-trip: %+v vs %+v", got.Cells, rep.Cells)
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+	if rep.Cells[0].Verdict != VerdictLeak || rep.Cells[0].Violation {
+		t.Fatalf("canonical attack on Base: %+v, want clean leak", rep.Cells[0])
+	}
+}
+
+// TestScanRejectsInvalidSpec checks malformed corpora fail fast instead
+// of burning simulation time.
+func TestScanRejectsInvalidSpec(t *testing.T) {
+	bad := CanonicalSpectreSpec(84)
+	bad.Secret = 0
+	if _, err := Scan(context.Background(), []AttackSpec{bad.withID()}, ScanOptions{Trials: 1}); err == nil {
+		t.Fatal("scan accepted a zero secret")
+	}
+	noID := CanonicalSpectreSpec(84)
+	noID.ID = ""
+	if _, err := Scan(context.Background(), []AttackSpec{noID}, ScanOptions{Trials: 1}); err == nil {
+		t.Fatal("scan accepted a spec without an ID")
+	}
+}

@@ -1,0 +1,219 @@
+// Package leakage is the automated leakage-testing subsystem: a seeded
+// corpus of transient-attack variants (parameterizing the Spectre v1 and
+// Meltdown templates in internal/workload), a statistical distinguisher
+// that turns repeated per-probe-line latency measurements into leak
+// verdicts with confidence scores, and a scanner that fans the
+// corpus x defense matrix through the internal/runner worker pool and
+// emits a deterministic JSON report. cmd/leakscan wires it into CI as a
+// security regression gate: the InvisiSpec defenses must block every
+// attack they claim to block, and the attacks themselves must still work
+// on the undefended baseline (a corpus whose attacks silently stopped
+// leaking tests nothing).
+package leakage
+
+import (
+	"fmt"
+
+	"invisispec/internal/config"
+	"invisispec/internal/isa"
+	"invisispec/internal/workload"
+)
+
+// Template selects which transient-attack program family a spec
+// instantiates.
+type Template int
+
+const (
+	// TemplateSpectre is the same-thread Spectre v1 bounds-check bypass
+	// (workload.SpectreV1With): attacker and victim share one core, the
+	// paper's SameThread setting.
+	TemplateSpectre Template = iota
+	// TemplateSpectreCross is the cross-thread placement
+	// (workload.SpectreV1CrossThread): victim on core 0, attacker on
+	// core 1, leaking through the shared LLC.
+	TemplateSpectreCross
+	// TemplateMeltdown is the exception-based attack (workload.Meltdown):
+	// a privileged load faults at retirement but its dependents run
+	// transiently. Spectre-model defenses do not squash exception-caused
+	// transients, so this template distinguishes the Spectre and
+	// Futuristic threat models.
+	TemplateMeltdown
+)
+
+// String names the template the way the report's cells do.
+func (t Template) String() string {
+	switch t {
+	case TemplateSpectre:
+		return "spectre"
+	case TemplateSpectreCross:
+		return "spectre-cross"
+	case TemplateMeltdown:
+		return "meltdown"
+	}
+	return fmt.Sprintf("Template(%d)", int(t))
+}
+
+// AttackSpec is one corpus entry: a fully-parameterized transient attack
+// that assembles to concrete programs. Every field is plain data so specs
+// serialize, compare, and replay deterministically.
+type AttackSpec struct {
+	// ID names the spec in reports, errors, and progress lines. Corpus
+	// generators derive it from the parameters so a report row is
+	// reproducible from its name alone.
+	ID string
+	// Template picks the program family.
+	Template Template
+	// Secret is the byte the attack tries to exfiltrate. Must be nonzero
+	// (probe line 0 collects training/prefetch residue) and, for Spectre
+	// templates, less than ProbeLines.
+	Secret byte
+	// TrainRounds, ProbeLines, ProbeStride, FlushBounds, FlushProbe and
+	// Annotate parameterize the Spectre templates exactly as
+	// workload.SpectreParams does; Meltdown ignores them (its probe
+	// geometry is fixed at 256 lines x 64 bytes).
+	TrainRounds int
+	ProbeLines  int
+	ProbeStride int
+	FlushBounds bool
+	FlushProbe  bool
+	Annotate    bool
+	// TrustAnnotations runs the machine with
+	// config.Machine.TrustSafeAnnotations set (§XI): annotated-safe loads
+	// bypass the USL machinery. Combined with Annotate this re-opens the
+	// leak under IS-Sp/IS-Fu — deliberately, to pin the threat-model
+	// boundary; the report marks those cells as expected leaks.
+	TrustAnnotations bool
+}
+
+// params converts the spec to the workload parameter block.
+func (s AttackSpec) params() workload.SpectreParams {
+	return workload.SpectreParams{
+		Secret:      s.Secret,
+		TrainRounds: s.TrainRounds,
+		ProbeLines:  s.ProbeLines,
+		ProbeStride: s.ProbeStride,
+		FlushBounds: s.FlushBounds,
+		FlushProbe:  s.FlushProbe,
+		Annotate:    s.Annotate,
+	}
+}
+
+// Validate checks the spec assembles to a well-formed attack.
+func (s AttackSpec) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("leakage: spec has no ID")
+	}
+	if s.Secret == 0 {
+		return fmt.Errorf("leakage: %s: secret must be nonzero (line 0 collects training residue)", s.ID)
+	}
+	switch s.Template {
+	case TemplateSpectre, TemplateSpectreCross:
+		if err := s.params().Validate(); err != nil {
+			return fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+	case TemplateMeltdown:
+		// Geometry is fixed; only the secret matters.
+	default:
+		return fmt.Errorf("leakage: %s: unknown template %d", s.ID, int(s.Template))
+	}
+	return nil
+}
+
+// Cores returns how many cores the spec's machine needs.
+func (s AttackSpec) Cores() int {
+	if s.Template == TemplateSpectreCross {
+		return 2
+	}
+	return 1
+}
+
+// Machine returns the machine configuration the spec runs on.
+func (s AttackSpec) Machine() config.Machine {
+	m := config.Default(s.Cores())
+	m.TrustSafeAnnotations = s.TrustAnnotations
+	return m
+}
+
+// Programs assembles the spec, one program per core.
+func (s AttackSpec) Programs() ([]*isa.Program, error) {
+	switch s.Template {
+	case TemplateSpectre:
+		p, err := workload.SpectreV1With(s.params())
+		if err != nil {
+			return nil, fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+		return []*isa.Program{p}, nil
+	case TemplateSpectreCross:
+		progs, err := workload.SpectreV1CrossThread(s.params())
+		if err != nil {
+			return nil, fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+		return progs, nil
+	case TemplateMeltdown:
+		return []*isa.Program{workload.Meltdown(s.Secret)}, nil
+	}
+	return nil, fmt.Errorf("leakage: %s: unknown template %d", s.ID, int(s.Template))
+}
+
+// ResultsBase returns where the attacker's per-probe-line latencies land
+// in functional memory.
+func (s AttackSpec) ResultsBase() uint64 {
+	if s.Template == TemplateMeltdown {
+		return workload.MeltdownResultsBase
+	}
+	return workload.SpectreResultsBase
+}
+
+// ResultLines returns how many probe-line latencies the attack records.
+func (s AttackSpec) ResultLines() int {
+	if s.Template == TemplateMeltdown {
+		return 256
+	}
+	return s.ProbeLines
+}
+
+// Expect returns the verdict the defense-outcome matrix predicts for this
+// spec under defense d. The matrix is empirical ground truth, established
+// by running every variant class under every defense:
+//
+//   - Spectre (both placements, full flush): leaks only on Base. All four
+//     defenses close it — fences serialize the window shut, InvisiSpec
+//     keeps the squashed loads invisible.
+//   - FlushProbe=false: probe line 0 stays hot with training residue in
+//     every configuration, so the scan cannot distinguish leak from
+//     blocked — Inconclusive everywhere (a distinguisher control).
+//   - FlushBounds=false (with the probe flushed): the bounds load hits in
+//     L1, the branch resolves before the secret arrives, and the window
+//     closes — Blocked everywhere, Base included (a negative control).
+//   - Annotate+TrustAnnotations: safe-annotated loads bypass the USL
+//     machinery, so the leak re-opens on IS-Sp and IS-Fu (and Base);
+//     the fence defenses still serialize it shut. This is the §XI
+//     threat-model boundary, reported as an expected leak.
+//   - Meltdown: exceptions are a Futuristic squash source, so it leaks on
+//     Base, Fe-Sp and IS-Sp, and only Fe-Fu/IS-Fu block it.
+func (s AttackSpec) Expect(d config.Defense) Verdict {
+	if s.Template == TemplateMeltdown {
+		switch d {
+		case config.Base, config.FenceSpectre, config.ISSpectre:
+			return VerdictLeak
+		}
+		return VerdictBlocked
+	}
+	if !s.FlushProbe {
+		return VerdictInconclusive
+	}
+	if !s.FlushBounds {
+		return VerdictBlocked
+	}
+	if s.Annotate && s.TrustAnnotations {
+		switch d {
+		case config.Base, config.ISSpectre, config.ISFuture:
+			return VerdictLeak
+		}
+		return VerdictBlocked
+	}
+	if d == config.Base {
+		return VerdictLeak
+	}
+	return VerdictBlocked
+}

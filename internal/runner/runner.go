@@ -104,81 +104,43 @@ func (o Options) workers(n int) int {
 // job's slot without stopping the pool, and a cancelled context fails the
 // not-yet-started jobs with ctx.Err() while in-flight jobs abort at their
 // next context poll. All workers have exited by the time Run returns.
+//
+// Run is an adapter over the generic RunTasks pool (task.go): each job
+// becomes a Task wrapping harness.Measure, so the pool mechanics —
+// ordering, timeouts, panic isolation, cancellation — live in one place.
 func Run(ctx context.Context, jobs []Job, opts Options) []JobResult {
-	results := make([]JobResult, len(jobs))
-	for i := range results {
-		results[i] = JobResult{Job: jobs[i], Index: i}
-	}
-	if len(jobs) == 0 {
-		return results
-	}
 	measure := opts.measure
 	if measure == nil {
 		measure = measureJob
 	}
-
-	var (
-		wg    sync.WaitGroup
-		queue = make(chan int)
-		prog  = newProgress(opts.Progress, len(jobs))
-	)
-	for w := 0; w < opts.workers(len(jobs)); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range queue {
-				r := &results[i]
-				start := time.Now()
-				r.Result, r.Err = runOne(ctx, jobs[i], opts, measure)
-				r.HostNS = time.Since(start).Nanoseconds()
-				prog.done(jobs[i], r.Err)
-			}
-		}()
-	}
-feed:
+	tasks := make([]Task, len(jobs))
 	for i := range jobs {
-		select {
-		case queue <- i:
-		case <-ctx.Done():
-			// Fail everything not yet handed to a worker; workers abort
-			// their in-flight job at the next cooperative context poll.
-			for j := i; j < len(jobs); j++ {
-				results[j].Err = fmt.Errorf("runner: %s not started: %w", jobs[j], ctx.Err())
-			}
-			break feed
+		j := jobs[i]
+		tasks[i] = Task{
+			Name:    j.String(),
+			Timeout: j.Timeout,
+			Run: func(ctx context.Context) (any, error) {
+				// harness.Measure recovers panics inside the simulator
+				// itself; the pool's own recovery additionally guards the
+				// rest of the job path (workload construction, option
+				// plumbing, test hooks).
+				res, err := measure(ctx, j, opts.Harness)
+				if err != nil {
+					return nil, err
+				}
+				return res, nil
+			},
 		}
 	}
-	close(queue)
-	wg.Wait()
+	taskResults := RunTasks(ctx, tasks, opts)
+	results := make([]JobResult, len(jobs))
+	for i, tr := range taskResults {
+		results[i] = JobResult{Job: jobs[i], Index: i, Err: tr.Err, HostNS: tr.HostNS}
+		if tr.Err == nil && tr.Value != nil {
+			results[i].Result = tr.Value.(harness.Result)
+		}
+	}
 	return results
-}
-
-// runOne executes a single job with its timeout applied and panics converted
-// to errors.
-func runOne(ctx context.Context, j Job, opts Options, measure func(context.Context, Job, []harness.Option) (harness.Result, error)) (res harness.Result, err error) {
-	timeout := j.Timeout
-	if timeout == 0 {
-		timeout = opts.Timeout
-	}
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
-	defer func() {
-		// harness.Measure recovers panics inside the simulator itself; this
-		// guards the pool against panics anywhere else on the job path
-		// (workload construction, option plumbing, test hooks) so one bad
-		// job cannot take down the other workers' jobs.
-		if r := recover(); r != nil {
-			err = fmt.Errorf("runner: %s: panic: %v", j, r)
-		}
-	}()
-	res, err = measure(ctx, j, opts.Harness)
-	if err != nil {
-		return harness.Result{}, fmt.Errorf("runner: %s: %w", j, err)
-	}
-	return res, nil
 }
 
 // measureJob is the production measurement path: harness.Measure on a fresh
@@ -210,8 +172,9 @@ func newProgress(w io.Writer, total int) *progress {
 	return &progress{w: w, total: total, start: time.Now()}
 }
 
-// done records one finished job and emits a progress line with an ETA.
-func (p *progress) done(j Job, err error) {
+// done records one finished unit of work and emits a progress line with an
+// ETA.
+func (p *progress) done(name string, err error) {
 	if p == nil || p.w == nil {
 		return
 	}
@@ -231,7 +194,7 @@ func (p *progress) done(j Job, err error) {
 		status = "FAIL"
 	}
 	fmt.Fprintf(p.w, "runner: %d/%d done (%d failed)  last %-28s %-4s  elapsed %s  eta %s\n",
-		p.completed, p.total, p.failed, j, status,
+		p.completed, p.total, p.failed, name, status,
 		elapsed.Round(time.Second), eta)
 }
 

@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunTasksOrderAndValues(t *testing.T) {
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Name: strings.Repeat("x", i+1),
+			Run:  func(ctx context.Context) (any, error) { return i * i, nil },
+		}
+	}
+	results := RunTasks(context.Background(), tasks, Options{Jobs: 4})
+	if len(results) != len(tasks) {
+		t.Fatalf("got %d results, want %d", len(results), len(tasks))
+	}
+	for i, r := range results {
+		if r.Index != i || r.Name != tasks[i].Name {
+			t.Errorf("result %d: index %d name %q", i, r.Index, r.Name)
+		}
+		if r.Err != nil || r.Value.(int) != i*i {
+			t.Errorf("result %d: value %v err %v, want %d", i, r.Value, r.Err, i*i)
+		}
+	}
+}
+
+func TestRunTasksErrorIsolation(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := []Task{
+		{Name: "ok1", Run: func(ctx context.Context) (any, error) { return 1, nil }},
+		{Name: "bad", Run: func(ctx context.Context) (any, error) { return nil, boom }},
+		{Name: "ok2", Run: func(ctx context.Context) (any, error) { return 2, nil }},
+	}
+	results := RunTasks(context.Background(), tasks, Options{Jobs: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy tasks failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if !errors.Is(results[1].Err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", results[1].Err)
+	}
+	if want := "runner: bad: boom"; results[1].Err.Error() != want {
+		t.Fatalf("err = %q, want %q", results[1].Err, want)
+	}
+}
+
+func TestRunTasksPanicIsolation(t *testing.T) {
+	tasks := []Task{
+		{Name: "panicky", Run: func(ctx context.Context) (any, error) { panic("kaboom") }},
+		{Name: "fine", Run: func(ctx context.Context) (any, error) { return "ok", nil }},
+	}
+	results := RunTasks(context.Background(), tasks, Options{Jobs: 1})
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "panic: kaboom") {
+		t.Fatalf("panic not converted: %v", results[0].Err)
+	}
+	if results[1].Err != nil || results[1].Value != "ok" {
+		t.Fatalf("task after panic damaged: %v %v", results[1].Value, results[1].Err)
+	}
+}
+
+func TestRunTasksTimeout(t *testing.T) {
+	tasks := []Task{{
+		Name:    "slow",
+		Timeout: 10 * time.Millisecond,
+		Run: func(ctx context.Context) (any, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	}}
+	results := RunTasks(context.Background(), tasks, Options{})
+	if !errors.Is(results[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", results[0].Err)
+	}
+}
+
+func TestRunTasksCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	release := make(chan struct{})
+	tasks := make([]Task, 6)
+	for i := range tasks {
+		tasks[i] = Task{
+			Name: "t",
+			Run: func(c context.Context) (any, error) {
+				started.Add(1)
+				select {
+				case <-release:
+					return nil, nil
+				case <-c.Done():
+					return nil, c.Err()
+				}
+			},
+		}
+	}
+	done := make(chan []TaskResult)
+	go func() { done <- RunTasks(ctx, tasks, Options{Jobs: 2}) }()
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	results := <-done
+	close(release)
+	var notStarted int
+	for _, r := range results {
+		if r.Err == nil {
+			continue
+		}
+		if strings.Contains(r.Err.Error(), "not started") {
+			notStarted++
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("err = %v, want wrapped context.Canceled", r.Err)
+		}
+	}
+	if notStarted == 0 {
+		t.Error("expected some tasks to fail before starting")
+	}
+}
+
+func TestRunTasksEmpty(t *testing.T) {
+	if got := RunTasks(context.Background(), nil, Options{}); len(got) != 0 {
+		t.Fatalf("got %d results for empty input", len(got))
+	}
+}

@@ -5,7 +5,12 @@
 // substitute for the paper's benchmark binaries.
 package workload
 
-import "invisispec/internal/isa"
+import (
+	"fmt"
+	"math/bits"
+
+	"invisispec/internal/isa"
+)
 
 // Memory layout of the Spectre proof of concept.
 const (
@@ -28,6 +33,73 @@ const (
 	SpectreProbeLines = 256
 )
 
+// SpectreParams parameterizes the Spectre variant-1 templates. The leakage
+// corpus (internal/leakage) fuzzes these axes; the zero value is invalid —
+// start from CanonicalSpectre.
+type SpectreParams struct {
+	// Secret is the byte the attacker tries to recover. Must be < ProbeLines
+	// (the probe array can only encode that many values) and non-zero (probe
+	// line 0 is warmed by branch training, so a zero secret is
+	// indistinguishable from training residue).
+	Secret byte
+	// TrainRounds is how many times the attacker sweeps the in-bounds
+	// indices to train the victim's bounds-check branch.
+	TrainRounds int
+	// ProbeLines is how many probe-array lines the transmitter can select
+	// between and the scan times.
+	ProbeLines int
+	// ProbeStride is the byte distance between consecutive probe lines
+	// (power of two, at least one cache line).
+	ProbeStride int
+	// FlushBounds flushes the victim's bounds value before the attack call,
+	// widening the speculation window. Without it the bounds load hits L1,
+	// the branch resolves before the (cold) secret load returns, and the
+	// transmit load never issues: a negative-control variant that must NOT
+	// leak even on Base.
+	FlushBounds bool
+	// FlushProbe flushes the training/warming residue out of the probe
+	// array before the attack call. Without it, stale warm lines (probe
+	// line 0 from training plus the page-warming lines) dominate the scan
+	// on every configuration, masking the signal: a distinguisher control
+	// that classifies as Inconclusive rather than Leak or Blocked.
+	FlushProbe bool
+	// Annotate marks the victim's access and transmit loads as statically
+	// safe (isa.LdSafe), modelling a WRONG static proof. Only machines with
+	// TrustSafeAnnotations honour the annotation (§XI threat-model
+	// boundary).
+	Annotate bool
+}
+
+// CanonicalSpectre is the paper's Figure 1 attack shape: the parameters
+// SpectreV1 has always used.
+func CanonicalSpectre(secret byte) SpectreParams {
+	return SpectreParams{
+		Secret:      secret,
+		TrainRounds: 16,
+		ProbeLines:  SpectreProbeLines,
+		ProbeStride: 64,
+		FlushBounds: true,
+		FlushProbe:  true,
+	}
+}
+
+// Validate reports the first structural problem with the parameters.
+func (p SpectreParams) Validate() error {
+	switch {
+	case p.TrainRounds < 1 || p.TrainRounds > 256:
+		return fmt.Errorf("workload: TrainRounds %d outside [1,256]", p.TrainRounds)
+	case p.ProbeLines < 16 || p.ProbeLines > 256 || p.ProbeLines&(p.ProbeLines-1) != 0:
+		return fmt.Errorf("workload: ProbeLines %d must be a power of two in [16,256]", p.ProbeLines)
+	case p.ProbeStride < 64 || p.ProbeStride&(p.ProbeStride-1) != 0:
+		return fmt.Errorf("workload: ProbeStride %d must be a power of two ≥ 64", p.ProbeStride)
+	case p.ProbeLines*p.ProbeStride > 0x100000:
+		return fmt.Errorf("workload: probe region %d bytes overruns the results area", p.ProbeLines*p.ProbeStride)
+	case int(p.Secret) >= p.ProbeLines:
+		return fmt.Errorf("workload: secret %d not encodable in %d probe lines", p.Secret, p.ProbeLines)
+	}
+	return nil
+}
+
 // SpectreV1 assembles the attack of the paper's Figure 1 in one program
 // (the SameThread setting): the attacker trains the victim's bounds-check
 // branch, flushes the bounds and the probe array, calls the victim with an
@@ -35,15 +107,37 @@ const (
 // the secret-indexed probe line, then times a scan of every probe line.
 // On an insecure machine the secret-indexed line is a cache hit; under
 // InvisiSpec the squashed loads leave no trace and every probe misses.
-func SpectreV1(secret byte) *isa.Program { return spectreV1(secret, false) }
+func SpectreV1(secret byte) *isa.Program {
+	return mustSpectre(CanonicalSpectre(secret))
+}
 
 // SpectreV1Annotated is the same attack with the victim's transient access
 // and transmit loads (incorrectly) annotated as statically safe. It exists
 // to demonstrate the threat-model boundary of the TrustSafeAnnotations
 // optimization (§XI): a wrong proof re-opens the leak.
-func SpectreV1Annotated(secret byte) *isa.Program { return spectreV1(secret, true) }
+func SpectreV1Annotated(secret byte) *isa.Program {
+	p := CanonicalSpectre(secret)
+	p.Annotate = true
+	return mustSpectre(p)
+}
 
-func spectreV1(secret byte, annotateVictim bool) *isa.Program {
+func mustSpectre(p SpectreParams) *isa.Program {
+	prog, err := SpectreV1With(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// SpectreV1With assembles the same-thread Spectre variant-1 attack for an
+// arbitrary point in the parameter space.
+func SpectreV1With(p SpectreParams) (*isa.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	secret, annotateVictim := p.Secret, p.Annotate
+	shift := int64(bits.TrailingZeros(uint(p.ProbeStride)))
+	region := int64(p.ProbeLines * p.ProbeStride)
 	const (
 		rArg    = 1  // victim argument a
 		rT0     = 3  // scan timing
@@ -76,8 +170,8 @@ func spectreV1(secret byte, annotateVictim bool) *isa.Program {
 		Li(rRes, SpectreResultsBase).
 		Li(rBndPtr, SpectreBoundsAddr)
 
-	// Train the bounds-check branch: 16 rounds over the valid indices.
-	b.Li(rRound, 16)
+	// Train the bounds-check branch over the valid indices.
+	b.Li(rRound, uint64(p.TrainRounds))
 	b.Label("train_outer").
 		Li(rArg, 0)
 	b.Label("train_inner").
@@ -91,7 +185,7 @@ func spectreV1(secret byte, annotateVictim bool) *isa.Program {
 	// Warm the D-TLB entries of every probe-array page (one line per 4 KiB
 	// page) so the transient probe load is not stalled by a page walk —
 	// the standard exploit preparation step.
-	for pg := int64(0); pg < SpectreProbeLines*64; pg += isa.PageSize {
+	for pg := int64(0); pg < region; pg += isa.PageSize {
 		b.Ld(1, rVal, rB, pg)
 	}
 	// Let wrong-path stragglers land: the mispredicted training-loop exit
@@ -108,12 +202,17 @@ func spectreV1(secret byte, annotateVictim bool) *isa.Program {
 	// Flush the state the attack depends on: the bounds (to widen the
 	// speculation window) and every probe line touched so far — B[0] from
 	// training, the page-warming lines, and the next-line prefetches each
-	// of those triggered.
-	b.Flush(rBndPtr, 0).
-		Flush(rB, 0)
-	for pg := int64(0); pg < SpectreProbeLines*64; pg += isa.PageSize {
-		for d := int64(0); d <= 4; d++ {
-			b.Flush(rB, pg+64*d)
+	// of those triggered. The corpus's control variants skip one of these
+	// on purpose to probe the distinguisher's failure classification.
+	if p.FlushBounds {
+		b.Flush(rBndPtr, 0)
+	}
+	if p.FlushProbe {
+		b.Flush(rB, 0)
+		for pg := int64(0); pg < region; pg += isa.PageSize {
+			for d := int64(0); d <= 4; d++ {
+				b.Flush(rB, pg+64*d)
+			}
 		}
 	}
 	b.Fence()
@@ -136,10 +235,10 @@ func spectreV1(secret byte, annotateVictim bool) *isa.Program {
 	b.Li(rIdx, 0).
 		Li(rVal, 0)
 	b.Label("scan").
-		Li(rShuf, SpectreProbeLines-1).
+		Li(rShuf, uint64(p.ProbeLines-1)).
 		Sub(rShuf, rShuf, rIdx). // descending probe index
 		AndI(rDelta, rVal, 0).   // 0, but depends on the previous probe
-		ShlI(rBPtr, rShuf, 6).
+		ShlI(rBPtr, rShuf, shift).
 		Add(rBPtr, rBPtr, rB).
 		Add(rBPtr, rBPtr, rDelta).
 		Cycle(rT0, rBPtr).     // t0, ordered after the address
@@ -150,7 +249,7 @@ func spectreV1(secret byte, annotateVictim bool) *isa.Program {
 		Add(rResPtr, rResPtr, rRes).
 		St(8, rResPtr, 0, rDelta).
 		AddI(rIdx, rIdx, 1).
-		Li(rLimit, SpectreProbeLines).
+		Li(rLimit, uint64(p.ProbeLines)).
 		Blt(rIdx, rLimit, "scan").
 		Halt()
 
@@ -167,18 +266,18 @@ func spectreV1(secret byte, annotateVictim bool) *isa.Program {
 		Add(rSecPtr, rA, rArg)
 	if annotateVictim {
 		b.LdSafe(1, rSec, rSecPtr, 0). // the access instruction (reads the secret)
-						ShlI(rSec, rSec, 6).
+						ShlI(rSec, rSec, shift).
 						Add(rBPtr2, rB, rSec).
 						LdSafe(1, rJunk, rBPtr2, 0) // the transmit instruction
 	} else {
 		b.Ld(1, rSec, rSecPtr, 0). // the access instruction (reads the secret)
-						ShlI(rSec, rSec, 6).
+						ShlI(rSec, rSec, shift).
 						Add(rBPtr2, rB, rSec).
 						Ld(1, rJunk, rBPtr2, 0) // the transmit instruction
 	}
 	b.Label("victim_ret").
 		Ret(rLink)
-	return b.MustBuild()
+	return b.Build()
 }
 
 const rBPtr2 = 17
@@ -187,8 +286,17 @@ const rBPtr2 = 17
 // from a finished machine's memory.
 func SpectreScanLatencies(mem *isa.Memory) [SpectreProbeLines]uint64 {
 	var out [SpectreProbeLines]uint64
+	copy(out[:], ScanLatencies(mem, SpectreResultsBase, SpectreProbeLines))
+	return out
+}
+
+// ScanLatencies extracts n per-probe-line latencies stored as little-endian
+// uint64s at base — the generalized form of SpectreScanLatencies for
+// parameterized probe counts and for the Meltdown results area.
+func ScanLatencies(mem *isa.Memory, base uint64, n int) []uint64 {
+	out := make([]uint64, n)
 	for i := range out {
-		out[i] = mem.Read(SpectreResultsBase+uint64(8*i), 8)
+		out[i] = mem.Read(base+uint64(8*i), 8)
 	}
 	return out
 }

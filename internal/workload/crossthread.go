@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"math/bits"
+
+	"invisispec/internal/isa"
+)
+
+// Cross-thread (SMT-style) Spectre placement: the victim and the attacker
+// are separate programs on separate cores sharing the inclusive LLC, the
+// CrossThread setting of the paper's attack-settings table. The attacker
+// cannot reach into the victim's pipeline, so the roles split along the
+// paper's lines: the victim trains its own bounds-check branch and then
+// services requests read from a shared mailbox; the attacker flushes the
+// shared state, posts an out-of-bounds index, and FLUSH+RELOADs the probe
+// array through its own cache hierarchy. On Base the victim's transient
+// transmit load installs the secret-indexed line in the shared LLC, so the
+// attacker's probe of that line is an LLC hit; under InvisiSpec the
+// victim's squashed loads never become visible and every probe goes to
+// DRAM.
+//
+// The handshake uses one cache line per flag so the spin loops contend on
+// nothing but the flag they watch:
+//
+//	ready — victim → attacker: branch training is complete
+//	idx   — attacker → victim: the attack index (zero = not posted yet);
+//	        doubling as the go-signal keeps the index register-resident
+//	        when the gadget runs, so the transient secret load issues
+//	        immediately instead of waiting ~30 cycles on a remote mailbox
+//	        line — latency that would push the transmit load past the
+//	        bounds branch's resolution and close the leak
+//	done  — victim → attacker: the gadget call has retired
+const (
+	SpectreCtrlBase = 0x380000
+	spectreCtrlRdy  = SpectreCtrlBase
+	spectreCtrlIdx  = SpectreCtrlBase + 128
+	spectreCtrlDone = SpectreCtrlBase + 192
+)
+
+// SpectreV1CrossThread assembles the two-program cross-thread placement:
+// progs[0] is the victim (run it on core 0), progs[1] the attacker. Use a
+// 2-core machine, e.g. config.Default(2).
+func SpectreV1CrossThread(p SpectreParams) ([]*isa.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	victim, err := crossThreadVictim(p)
+	if err != nil {
+		return nil, err
+	}
+	attacker, err := crossThreadAttacker(p)
+	if err != nil {
+		return nil, err
+	}
+	return []*isa.Program{victim, attacker}, nil
+}
+
+// crossThreadVictim emits the victim program: train the bounds-check
+// branch, signal readiness, wait for the attacker's index, run the Figure 1
+// gadget once, and signal completion. Register 0 stays zero throughout and
+// serves as the comparand of the spin branches.
+func crossThreadVictim(p SpectreParams) (*isa.Program, error) {
+	const (
+		rArg    = 1
+		rOne    = 3
+		rRound  = 10
+		rLimit  = 11
+		rBnd    = 12
+		rSecPtr = 13
+		rSec    = 14
+		rJunk   = 16
+		rBPtr2  = 17
+		rA      = 20
+		rB      = 21
+		rBndPtr = 23
+		rRdy    = 24
+		rIdx    = 26
+		rDone   = 27
+		rLink   = 30
+	)
+	shift := int64(bits.TrailingZeros(uint(p.ProbeStride)))
+	b := isa.NewBuilder("spectre-v1-cross-victim")
+	// Victim data: A[0..9] = 0, the secret byte at A+offset, bounds = 10.
+	b.Data(SpectreABase, make([]byte, 10))
+	b.Data(SpectreABase+SpectreSecretOffset, []byte{p.Secret})
+	b.DataU64(SpectreBoundsAddr, 10)
+
+	b.Li(rA, SpectreABase).
+		Li(rB, SpectreBBase).
+		Li(rBndPtr, SpectreBoundsAddr).
+		Li(rRdy, spectreCtrlRdy).
+		Li(rIdx, spectreCtrlIdx).
+		Li(rDone, spectreCtrlDone).
+		Li(rOne, 1)
+
+	// Train the bounds-check branch over the valid indices.
+	b.Li(rRound, uint64(p.TrainRounds))
+	b.Label("train_outer").
+		Li(rArg, 0)
+	b.Label("train_inner").
+		Call(rLink, "victim").
+		AddI(rArg, rArg, 1).
+		Li(rLimit, 10).
+		Blt(rArg, rLimit, "train_inner").
+		AddI(rRound, rRound, -1).
+		Bne(rRound, 0, "train_outer")
+
+	// Warm this core's D-TLB entries for the probe pages (one line per
+	// page). An SMT attacker shares the victim's D-TLB; across cores the
+	// victim must have touched its own probe array — as a real victim
+	// whose B is a live data structure would have — or the gadget's
+	// transient transmit stalls 40 cycles on a page walk and the bounds
+	// branch resolves first. The attacker's flush below evicts these
+	// lines from every cache but leaves the TLB entries in place.
+	for pg := int64(0); pg < int64(p.ProbeLines*p.ProbeStride); pg += isa.PageSize {
+		b.Ld(1, rJunk, rB, pg)
+	}
+
+	// Tell the attacker training is done, then spin until the attack index
+	// is posted. The spin load itself leaves the index in rArg, so the
+	// gadget's transient chain starts with zero added latency. The fence
+	// after the spin keeps the gadget's loads from issuing transiently
+	// down the not-yet-resolved spin-exit path (with a stale zero index),
+	// which would warm probe line 0 and corrupt the attacker's scan.
+	b.Fence().
+		St(8, rRdy, 0, rOne)
+	b.Label("wait_idx").
+		Ld(8, rArg, rIdx, 0).
+		Beq(rArg, 0, "wait_idx").
+		Fence()
+
+	// The attack call: the gadget runs once with the attacker's index.
+	b.Call(rLink, "victim").
+		Fence().
+		St(8, rDone, 0, rOne).
+		Halt()
+
+	// victim(a): if (a < bounds) junk = B[stride * A[a]] — Figure 1.
+	b.Label("victim").
+		Ld(8, rBnd, rBndPtr, 0). // bounds load: slow when flushed
+		Div(rBnd, rBnd, rBnd).   // dependent chain delays resolution
+		AddI(rBnd, rBnd, 9).     // 10
+		Div(rBnd, rBnd, rBnd).   // 1 (another 12 cycles)
+		ShlI(rBnd, rBnd, 1).
+		ShlI(rBnd, rBnd, 2).
+		AddI(rBnd, rBnd, 2). // rBnd = 10 again
+		Bge(rArg, rBnd, "victim_ret").
+		Add(rSecPtr, rA, rArg)
+	if p.Annotate {
+		b.LdSafe(1, rSec, rSecPtr, 0). // the access instruction
+						ShlI(rSec, rSec, shift).
+						Add(rBPtr2, rB, rSec).
+						LdSafe(1, rJunk, rBPtr2, 0) // the transmit instruction
+	} else {
+		b.Ld(1, rSec, rSecPtr, 0). // the access instruction
+						ShlI(rSec, rSec, shift).
+						Add(rBPtr2, rB, rSec).
+						Ld(1, rJunk, rBPtr2, 0) // the transmit instruction
+	}
+	b.Label("victim_ret").
+		Ret(rLink)
+	return b.Build()
+}
+
+// crossThreadAttacker emits the attacker program: warm the probe pages'
+// TLB entries, wait for the victim to finish training, flush the shared
+// state (OpFlush invalidates every cache in the system, like clflush),
+// post the out-of-bounds index, and time a descending scan of the probe
+// lines once the victim signals the gadget has retired.
+func crossThreadAttacker(p SpectreParams) (*isa.Program, error) {
+	const (
+		rFlag   = 2
+		rT0     = 3
+		rVal    = 4
+		rT1     = 5
+		rDelta  = 6
+		rResPtr = 7
+		rIdx    = 8
+		rLimit  = 11
+		rBPtr   = 15
+		rB      = 21
+		rRes    = 22
+		rBndPtr = 23
+		rRdy    = 24
+		rIdxP   = 26
+		rDone   = 27
+		rArg    = 28
+	)
+	shift := int64(bits.TrailingZeros(uint(p.ProbeStride)))
+	region := int64(p.ProbeLines * p.ProbeStride)
+	b := isa.NewBuilder("spectre-v1-cross-attacker")
+	b.Li(rB, SpectreBBase).
+		Li(rRes, SpectreResultsBase).
+		Li(rBndPtr, SpectreBoundsAddr).
+		Li(rRdy, spectreCtrlRdy).
+		Li(rIdxP, spectreCtrlIdx).
+		Li(rDone, spectreCtrlDone)
+
+	// Warm this core's D-TLB entries for the probe pages so the timed
+	// probes pay cache latency, not page walks.
+	for pg := int64(0); pg < region; pg += isa.PageSize {
+		b.Ld(1, rVal, rB, pg)
+	}
+
+	// Wait for the victim's training to finish, then flush the state the
+	// attack depends on out of EVERY cache: the bounds (to widen the
+	// victim's speculation window) and all probe-array residue — B[0] from
+	// the victim's training, this core's page-warming lines, and their
+	// next-line prefetches.
+	b.Label("wait_ready").
+		Ld(8, rFlag, rRdy, 0).
+		Beq(rFlag, 0, "wait_ready").
+		Fence()
+	if p.FlushBounds {
+		b.Flush(rBndPtr, 0)
+	}
+	if p.FlushProbe {
+		b.Flush(rB, 0)
+		for pg := int64(0); pg < region; pg += isa.PageSize {
+			for d := int64(0); d <= 4; d++ {
+				b.Flush(rB, pg+64*d)
+			}
+		}
+	}
+	b.Fence()
+
+	// Post the out-of-bounds index; a non-zero mailbox value IS the go
+	// signal, so no separate flag store is needed.
+	b.Li(rArg, SpectreSecretOffset).
+		St(8, rIdxP, 0, rArg)
+
+	// Wait for the gadget call to retire on the victim core. The fence
+	// keeps the timed probes from issuing transiently while the spin-exit
+	// branch is still unresolved.
+	b.Label("wait_done").
+		Ld(8, rFlag, rDone, 0).
+		Beq(rFlag, 0, "wait_done").
+		Fence()
+
+	// FLUSH+RELOAD scan, identical to the same-thread attacker: serialized
+	// probes in descending line order (see SpectreV1With).
+	const rShuf = 19
+	b.Li(rIdx, 0).
+		Li(rVal, 0)
+	b.Label("scan").
+		Li(rShuf, uint64(p.ProbeLines-1)).
+		Sub(rShuf, rShuf, rIdx). // descending probe index
+		AndI(rDelta, rVal, 0).   // 0, but depends on the previous probe
+		ShlI(rBPtr, rShuf, shift).
+		Add(rBPtr, rBPtr, rB).
+		Add(rBPtr, rBPtr, rDelta).
+		Cycle(rT0, rBPtr).     // t0, ordered after the address
+		Ld(1, rVal, rBPtr, 0). //
+		Cycle(rT1, rVal).      // t1, ordered after the loaded value
+		Sub(rDelta, rT1, rT0).
+		ShlI(rResPtr, rShuf, 3).
+		Add(rResPtr, rResPtr, rRes).
+		St(8, rResPtr, 0, rDelta).
+		AddI(rIdx, rIdx, 1).
+		Li(rLimit, uint64(p.ProbeLines)).
+		Blt(rIdx, rLimit, "scan").
+		Halt()
+	return b.Build()
+}

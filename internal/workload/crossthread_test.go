@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+
+	"invisispec/internal/config"
+	"invisispec/internal/sim"
+)
+
+// runCrossThread runs the two-program placement to completion under a
+// defense and returns the attacker's probe-line latencies.
+func runCrossThread(t *testing.T, p SpectreParams, d config.Defense) []uint64 {
+	t.Helper()
+	progs, err := SpectreV1CrossThread(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := config.Run{Machine: config.Default(2), Defense: d, Consistency: config.TSO}
+	m := sim.MustNew(run, progs)
+	if err := m.RunToCompletion(30_000_000); err != nil {
+		t.Fatalf("cross-thread attack under %s did not complete: %v", d, err)
+	}
+	return ScanLatencies(m.Mem, SpectreResultsBase, p.ProbeLines)
+}
+
+// hotLine returns the lowest probe index at least 2x faster than the
+// median, or -1.
+func hotLine(lat []uint64) int {
+	med := append([]uint64(nil), lat...)
+	for i := 1; i < len(med); i++ {
+		for j := i; j > 0 && med[j] < med[j-1]; j-- {
+			med[j], med[j-1] = med[j-1], med[j]
+		}
+	}
+	floor := med[len(med)/2]
+	for i, l := range lat {
+		if l*2 < floor {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestCrossThreadSpectreLeaksOnBase(t *testing.T) {
+	p := CanonicalSpectre(199)
+	lat := runCrossThread(t, p, config.Base)
+	if got := hotLine(lat); got != 199 {
+		t.Fatalf("cross-thread attack on Base recovered line %d, want 199 (lat[199]=%d)", got, lat[199])
+	}
+}
+
+func TestCrossThreadSpectreBlockedByInvisiSpec(t *testing.T) {
+	p := CanonicalSpectre(199)
+	for _, d := range []config.Defense{config.ISSpectre, config.ISFuture} {
+		lat := runCrossThread(t, p, d)
+		if got := hotLine(lat); got != -1 {
+			t.Errorf("cross-thread attack under %s shows hot line %d (lat=%d), want none", d, got, lat[got])
+		}
+	}
+}
+
+func TestCrossThreadValidatesParams(t *testing.T) {
+	p := CanonicalSpectre(199)
+	p.ProbeStride = 48 // not a power of two
+	if _, err := SpectreV1CrossThread(p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
