@@ -9,7 +9,7 @@ GO ?= go
 JOBS ?= 4
 SMOKE_FLAGS = -fig 4 -warmup 5000 -measure 20000 -jobs $(JOBS) -quiet
 
-.PHONY: all build test vet race check ci bench smoke benchdiff baseline leakscan
+.PHONY: all build test vet race check ci bench smoke benchdiff baseline leakscan kernelcheck
 
 all: build
 
@@ -31,15 +31,24 @@ check: build vet race
 
 # What CI invokes; kept separate from `check` so CI-only steps can be
 # attached without changing the local gate.
-ci: check leakscan
+ci: check kernelcheck leakscan
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Kernel-equivalence gate: the fast-forward scheduler must produce
+# byte-identical fingerprints to the cycle-by-cycle reference stepper across
+# the whole equivalence matrix (fault seeds, checking, interrupts included).
+kernelcheck:
+	$(GO) test -run 'TestKernelEquivalence|TestKernelSwitchMidRun' -count=1 ./internal/sim
+
 # Short-budget Figure-4 sweep producing the BENCH_smoke.json artifact the
 # CI regression gate compares against the committed baseline.
+# -comparekernels re-runs the sweep under the stepped kernel, fails on any
+# divergence, and records both kernels' wall time in the artifact's host
+# block so benchdiff trajectories show the fast-forward speedup.
 smoke:
-	$(GO) run ./cmd/benchtable $(SMOKE_FLAGS) -benchjson BENCH_smoke.json -benchname smoke
+	$(GO) run ./cmd/benchtable $(SMOKE_FLAGS) -comparekernels -benchjson BENCH_smoke.json -benchname smoke
 
 benchdiff: smoke
 	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_smoke.json

@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"invisispec/internal/config"
+	"invisispec/internal/engine"
 	"invisispec/internal/harness"
 	"invisispec/internal/hwcost"
 	"invisispec/internal/isa"
@@ -234,6 +235,35 @@ func BenchmarkAblations(b *testing.B) {
 				}
 				reportRun(b, r)
 			}
+		})
+	}
+}
+
+// BenchmarkKernelFastForward measures host wall-time of the two simulation
+// kernels on a memory-bound workload (mcf: dependent pointer chase, mostly
+// DRAM-latency-bound), where the quiescence-aware scheduler should skip the
+// bulk of simulated cycles. Compare the fast and stepped sub-benchmarks'
+// ns/op directly; the skip%% metric reports the fraction of simulated cycles
+// the fast kernel jumped over. The ISSUE-4 acceptance target is fast ≥ 1.5x
+// faster than stepped here.
+func BenchmarkKernelFastForward(b *testing.B) {
+	prog := workload.MustSPEC("mcf")
+	run := config.Run{Machine: config.Default(1), Defense: config.Base, Consistency: config.TSO}
+	for _, k := range []engine.Kernel{engine.KernelFast, engine.KernelStepped} {
+		b.Run(k.String(), func(b *testing.B) {
+			var cycles, skipped uint64
+			for i := 0; i < b.N; i++ {
+				m := sim.MustNew(run, []*isa.Program{prog})
+				m.SetKernel(k)
+				if err := m.RunInstructions(benchWarmup+benchMeasure, 50_000_000); err != nil {
+					b.Fatal(err)
+				}
+				cycles += m.Cycle()
+				_, sk := m.FastForwardStats()
+				skipped += sk
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "sim-cyc/op")
+			b.ReportMetric(100*float64(skipped)/float64(cycles), "skip%")
 		})
 	}
 }

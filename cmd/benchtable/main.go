@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/csv"
 	"flag"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"invisispec/internal/config"
+	"invisispec/internal/engine"
 	"invisispec/internal/harness"
 	"invisispec/internal/hwcost"
 	"invisispec/internal/runner"
@@ -46,6 +48,7 @@ var (
 	bjPath  = flag.String("benchjson", "", "also write the aggregated measurements as a bench-JSON artifact to this file")
 	bjName  = flag.String("benchname", "", "artifact name inside -benchjson (default: fig<N>/table<N>)")
 	bjHost  = flag.Bool("benchhost", true, "include the host wall-time block in -benchjson output (disable for committed baselines)")
+	cmpK    = flag.Bool("comparekernels", false, "re-run the matrix under the cycle-by-cycle stepped kernel, fail unless its results are byte-identical to the fast kernel's, and record both wall times in the -benchjson host block")
 	quiet   = flag.Bool("quiet", false, "suppress per-job progress lines on stderr")
 
 	csvW *csv.Writer
@@ -152,7 +155,11 @@ func runMatrix(jobs []runner.Job, artifact string) []runner.JobResult {
 	for _, r := range results {
 		csvRow(r)
 	}
-	writeBenchJSON(results, artifact, wall)
+	var kernelWall map[string]time.Duration
+	if *cmpK {
+		kernelWall = compareKernels(jobs, results, wall, opts)
+	}
+	writeBenchJSON(results, artifact, wall, kernelWall)
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "runner: %d jobs in %s at -jobs %d\n",
 			len(jobs), wall.Round(time.Millisecond), *jobsN)
@@ -160,8 +167,47 @@ func runMatrix(jobs []runner.Job, artifact string) []runner.JobResult {
 	return results
 }
 
+// compareKernels is the CI-level half of the kernel-equivalence oracle (the
+// unit-level half is internal/sim's TestKernelEquivalence): it re-runs the
+// exact job matrix under the cycle-by-cycle reference stepper and fails the
+// sweep unless the deterministic bench payload — every counter of every run —
+// is byte-identical to the fast kernel's. On success it returns both sweeps'
+// wall times for the artifact's quarantined host block, so benchdiff
+// trajectories record the fast-forward speedup without gating on it.
+func compareKernels(jobs []runner.Job, fast []runner.JobResult, fastWall time.Duration, opts runner.Options) map[string]time.Duration {
+	opts.Harness = append([]harness.Option{}, opts.Harness...)
+	opts.Harness = append(opts.Harness, harness.WithKernel(engine.KernelStepped))
+	start := time.Now()
+	stepped := runner.Run(context.Background(), jobs, opts)
+	steppedWall := time.Since(start)
+	if err := runner.FirstError(stepped); err != nil {
+		fail(fmt.Errorf("stepped-kernel rerun: %w", err))
+	}
+	fastPayload, err := runner.NewBench("kernelcheck", *warmup, *measure, fast).DeterministicPayload()
+	if err != nil {
+		fail(err)
+	}
+	steppedPayload, err := runner.NewBench("kernelcheck", *warmup, *measure, stepped).DeterministicPayload()
+	if err != nil {
+		fail(err)
+	}
+	if !bytes.Equal(fastPayload, steppedPayload) {
+		fail(fmt.Errorf("kernel equivalence violated: stepped and fast payloads differ over %d jobs\n--- fast ---\n%s\n--- stepped ---\n%s",
+			len(jobs), fastPayload, steppedPayload))
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "kernels: %d jobs byte-identical; fast %s vs stepped %s (%.2fx)\n",
+			len(jobs), fastWall.Round(time.Millisecond), steppedWall.Round(time.Millisecond),
+			float64(steppedWall)/float64(fastWall))
+	}
+	return map[string]time.Duration{
+		engine.KernelFast.String():    fastWall,
+		engine.KernelStepped.String(): steppedWall,
+	}
+}
+
 // writeBenchJSON emits the -benchjson artifact, if requested.
-func writeBenchJSON(results []runner.JobResult, artifact string, wall time.Duration) {
+func writeBenchJSON(results []runner.JobResult, artifact string, wall time.Duration, kernelWall map[string]time.Duration) {
 	if *bjPath == "" {
 		return
 	}
@@ -171,6 +217,9 @@ func writeBenchJSON(results []runner.JobResult, artifact string, wall time.Durat
 	b := runner.NewBench(artifact, *warmup, *measure, results)
 	if *bjHost {
 		b.WithHost(wall, *jobsN, results)
+		for k, w := range kernelWall {
+			b.WithKernelWall(k, w)
+		}
 	}
 	f, err := os.Create(*bjPath)
 	if err != nil {

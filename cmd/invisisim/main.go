@@ -20,6 +20,7 @@ import (
 
 	"invisispec/internal/config"
 	"invisispec/internal/core"
+	"invisispec/internal/engine"
 	"invisispec/internal/harness"
 	"invisispec/internal/invariant"
 	"invisispec/internal/isa"
@@ -43,6 +44,7 @@ func main() {
 		checkEvery  = flag.Uint64("checkevery", 4096, "cycles between invariant sweeps (with -check)")
 		faultSeed   = flag.Int64("faultseed", 0, "non-zero: inject deterministic NoC/DRAM timing faults with this seed")
 		timeout     = flag.Duration("timeout", 0, "non-zero: abort the run after this much host wall-clock time (cooperative, via the simulation loop)")
+		kernelName  = flag.String("kernel", "fast", "simulation kernel: fast (quiescence-aware fast-forward) | stepped (cycle-by-cycle reference); both produce identical results")
 	)
 	flag.Parse()
 
@@ -66,6 +68,8 @@ func main() {
 	check(err)
 	cm, err := parseConsistency(*consistency)
 	check(err)
+	kernel, err := engine.ParseKernel(*kernelName)
+	check(err)
 
 	parsec := false
 	if _, err := workload.PARSECProfile(*name); err == nil {
@@ -75,10 +79,12 @@ func main() {
 	}
 
 	if *traceN > 0 {
+		// The trace loop steps one cycle at a time by construction (it needs
+		// every commit event in order), so -kernel does not apply there.
 		check(traceRun(*name, parsec, d, cm, *traceN, *doCheck, *checkEvery, *faultSeed, *timeout))
 		return
 	}
-	var opts []harness.Option
+	opts := []harness.Option{harness.WithKernel(kernel)}
 	if *doCheck {
 		opts = append(opts, harness.WithChecking(invariant.Options{Interval: *checkEvery}))
 	}

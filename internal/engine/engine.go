@@ -1,0 +1,200 @@
+// Package engine is the simulation kernel: it owns the global clock and the
+// order in which simulated components observe it. Two interchangeable
+// steppers implement the same contract:
+//
+//   - ReferenceStepper is the seed's cycle-by-cycle loop: every component is
+//     ticked on every cycle, in registration order. It is the golden model.
+//   - Scheduler is the quiescence-aware fast-forward kernel: components are
+//     still ticked in the same fixed order, but when every component reports
+//     a future (or unknown-free) wake cycle, the clock jumps straight to the
+//     earliest of them. Skipped cycles are reported to IdleSkipper components
+//     so per-cycle accounting (core cycle counters, stall counters) advances
+//     by exactly the number of cycles skipped.
+//
+// Determinism argument: a jump from cycle T to cycle W is performed only when
+// no component can do non-trivial work in (T, W) — NextWake contracts below.
+// Since simulated state is then constant over the open interval, ticking the
+// components at W produces the same state the reference stepper reaches by
+// ticking every cycle of (T, W]; the only per-cycle side effects in that
+// window are bulk-accountable counters, which SkipIdle replays. The callers
+// (internal/sim) additionally cap every jump at external boundaries that
+// carry their own side effects: the cycle budget, and the invariant-checker
+// sweep stride — so sweeps, watchdog windows, and budget errors observe
+// identical cycles under both kernels.
+package engine
+
+import "fmt"
+
+// Never is the NextWake value meaning "this component will do no further
+// work unless some other component's activity feeds it" (e.g. a core blocked
+// on an outstanding memory response, which the hierarchy's own NextWake
+// bounds).
+const Never = ^uint64(0)
+
+// Component is one simulated unit on the kernel's clock.
+type Component interface {
+	// Tick advances the component to cycle now. The kernel guarantees now is
+	// strictly increasing across calls and that all components are ticked at
+	// the same cycles, in registration order.
+	Tick(now uint64)
+
+	// NextWake returns the earliest cycle > now at which the component could
+	// perform non-trivial work, given that no other component acts before
+	// then. Contract:
+	//   - a return of now+1 (or anything <= now+1) means "busy or unknown":
+	//     the kernel must not skip any cycles;
+	//   - a return of W > now+1 asserts the component's observable state is
+	//     constant over cycles (now, W) — ticking it anywhere in that open
+	//     interval would be a no-op apart from bulk-accountable counters;
+	//   - Never means the component is waiting on external input only.
+	// NextWake must be side-effect-free: the reference stepper never calls it.
+	NextWake(now uint64) uint64
+}
+
+// IdleSkipper is implemented by components with per-cycle accounting (cycle
+// counters, stall counters) that must advance even across skipped cycles.
+// SkipIdle(k) is called before the tick that lands a jump, with k = number
+// of cycles skipped (the jump width minus the one cycle the tick itself
+// accounts for).
+type IdleSkipper interface {
+	SkipIdle(cycles uint64)
+}
+
+// Kernel selects a stepper implementation.
+type Kernel int
+
+// Kernels.
+const (
+	// KernelFast is the quiescence-aware fast-forward scheduler (default).
+	KernelFast Kernel = iota
+	// KernelStepped is the seed's cycle-by-cycle reference stepper.
+	KernelStepped
+)
+
+// String names the kernel the way the -kernel flag spells it.
+func (k Kernel) String() string {
+	switch k {
+	case KernelFast:
+		return "fast"
+	case KernelStepped:
+		return "stepped"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
+// ParseKernel parses a -kernel flag value.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "fast":
+		return KernelFast, nil
+	case "stepped":
+		return KernelStepped, nil
+	}
+	return 0, fmt.Errorf("unknown kernel %q (want stepped or fast)", s)
+}
+
+// Stepper advances the clock for a fixed set of components.
+type Stepper interface {
+	// Now returns the current cycle (the cycle of the last tick).
+	Now() uint64
+	// StepTo advances time by at least one cycle and at most to cycle limit,
+	// returning the new current cycle. The reference stepper always advances
+	// exactly one cycle; the fast scheduler may land anywhere in
+	// [now+1, limit]. Callers encode external side-effect boundaries (budget,
+	// checker stride) by capping limit.
+	StepTo(limit uint64) uint64
+}
+
+// NewStepper builds the stepper for the chosen kernel, starting at cycle
+// start (the first tick happens at start+1). Components are ticked in the
+// given order every landed cycle.
+func NewStepper(k Kernel, start uint64, comps ...Component) Stepper {
+	if k == KernelStepped {
+		return &ReferenceStepper{now: start, comps: comps}
+	}
+	s := &Scheduler{now: start, comps: comps}
+	for _, c := range comps {
+		if sk, ok := c.(IdleSkipper); ok {
+			s.skippers = append(s.skippers, sk)
+		}
+	}
+	return s
+}
+
+// ReferenceStepper is the golden cycle-by-cycle kernel: one tick per call,
+// NextWake never consulted. It is byte-for-byte the seed's sim loop and the
+// correctness oracle the fast scheduler is tested against.
+type ReferenceStepper struct {
+	now   uint64
+	comps []Component
+}
+
+// Now returns the current cycle.
+func (s *ReferenceStepper) Now() uint64 { return s.now }
+
+// StepTo ticks every component at now+1 (limit is ignored beyond the
+// contract's minimum advance).
+func (s *ReferenceStepper) StepTo(limit uint64) uint64 {
+	s.now++
+	for _, c := range s.comps {
+		c.Tick(s.now)
+	}
+	return s.now
+}
+
+// Scheduler is the quiescence-aware fast-forward kernel.
+type Scheduler struct {
+	now      uint64
+	comps    []Component
+	skippers []IdleSkipper
+
+	jumps   uint64
+	skipped uint64
+}
+
+// Now returns the current cycle.
+func (s *Scheduler) Now() uint64 { return s.now }
+
+// SkipStats reports how many jumps the scheduler performed and how many idle
+// cycles they skipped in total (diagnostics; the counters are not part of
+// simulated state).
+func (s *Scheduler) SkipStats() (jumps, skippedCycles uint64) {
+	return s.jumps, s.skipped
+}
+
+// StepTo advances to min(earliest wake, limit), ticking components once at
+// the landing cycle. When no component reports a wake before limit, the
+// clock lands on limit itself (external boundaries — budget, checker sweep —
+// carry side effects of their own and must be observed exactly).
+func (s *Scheduler) StepTo(limit uint64) uint64 {
+	next := s.now + 1
+	if limit > next {
+		wake := Never
+		for _, c := range s.comps {
+			if w := c.NextWake(s.now); w < wake {
+				wake = w
+			}
+			if wake <= next {
+				wake = next
+				break
+			}
+		}
+		if wake > limit {
+			wake = limit
+		}
+		if wake > next {
+			k := wake - next
+			for _, sk := range s.skippers {
+				sk.SkipIdle(k)
+			}
+			s.jumps++
+			s.skipped += k
+			next = wake
+		}
+	}
+	s.now = next
+	for _, c := range s.comps {
+		c.Tick(next)
+	}
+	return s.now
+}

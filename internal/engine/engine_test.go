@@ -1,0 +1,135 @@
+package engine
+
+import "testing"
+
+// fakeComp scripts a NextWake schedule and records every tick and skip.
+type fakeComp struct {
+	wake    func(now uint64) uint64
+	ticks   []uint64
+	skipped uint64
+}
+
+func (f *fakeComp) Tick(now uint64)            { f.ticks = append(f.ticks, now) }
+func (f *fakeComp) NextWake(now uint64) uint64 { return f.wake(now) }
+func (f *fakeComp) SkipIdle(k uint64)          { f.skipped += k }
+
+func busy(uint64) uint64 { return 0 } // <= now+1: never skip
+
+func TestReferenceStepperTicksEveryCycle(t *testing.T) {
+	c := &fakeComp{wake: func(uint64) uint64 { t.Fatal("reference stepper consulted NextWake"); return 0 }}
+	s := NewStepper(KernelStepped, 0, c)
+	for i := 0; i < 5; i++ {
+		s.StepTo(1000) // limit far away: still single-cycle
+	}
+	if s.Now() != 5 || len(c.ticks) != 5 {
+		t.Fatalf("now=%d ticks=%v", s.Now(), c.ticks)
+	}
+	for i, cy := range c.ticks {
+		if cy != uint64(i+1) {
+			t.Fatalf("tick %d at cycle %d", i, cy)
+		}
+	}
+}
+
+func TestSchedulerJumpsToEarliestWake(t *testing.T) {
+	a := &fakeComp{wake: func(now uint64) uint64 { return 100 }}
+	b := &fakeComp{wake: func(now uint64) uint64 { return 40 }}
+	s := NewStepper(KernelFast, 0, a, b)
+	if got := s.StepTo(1000); got != 40 {
+		t.Fatalf("landed at %d, want 40 (min wake)", got)
+	}
+	// Both components ticked exactly once, at the landing cycle, and both
+	// were credited the 39 skipped cycles.
+	for _, c := range []*fakeComp{a, b} {
+		if len(c.ticks) != 1 || c.ticks[0] != 40 {
+			t.Fatalf("ticks=%v, want [40]", c.ticks)
+		}
+		if c.skipped != 39 {
+			t.Fatalf("skipped=%d, want 39", c.skipped)
+		}
+	}
+}
+
+func TestSchedulerBusyComponentBlocksJump(t *testing.T) {
+	idle := &fakeComp{wake: func(now uint64) uint64 { return Never }}
+	bz := &fakeComp{wake: busy}
+	s := NewStepper(KernelFast, 0, idle, bz)
+	if got := s.StepTo(1000); got != 1 {
+		t.Fatalf("landed at %d, want 1 (busy component)", got)
+	}
+	if idle.skipped != 0 || bz.skipped != 0 {
+		t.Fatalf("skip credited on a non-jump: %d/%d", idle.skipped, bz.skipped)
+	}
+}
+
+func TestSchedulerCapsAtLimit(t *testing.T) {
+	c := &fakeComp{wake: func(now uint64) uint64 { return Never }}
+	s := NewStepper(KernelFast, 10, c)
+	if got := s.StepTo(64); got != 64 {
+		t.Fatalf("landed at %d, want limit 64", got)
+	}
+	if c.skipped != 53 { // 64 - 11
+		t.Fatalf("skipped=%d, want 53", c.skipped)
+	}
+	// A wake before the limit wins over the limit.
+	c2 := &fakeComp{wake: func(now uint64) uint64 { return now + 7 }}
+	s2 := NewStepper(KernelFast, 0, c2)
+	if got := s2.StepTo(64); got != 7 {
+		t.Fatalf("landed at %d, want 7", got)
+	}
+}
+
+func TestSchedulerMinimumAdvance(t *testing.T) {
+	c := &fakeComp{wake: func(now uint64) uint64 { return Never }}
+	s := NewStepper(KernelFast, 10, c)
+	// limit <= now+1: exactly one cycle, no skip accounting.
+	if got := s.StepTo(5); got != 11 {
+		t.Fatalf("landed at %d, want 11", got)
+	}
+	if c.skipped != 0 {
+		t.Fatalf("skipped=%d, want 0", c.skipped)
+	}
+}
+
+func TestSchedulerDeterministicTickOrder(t *testing.T) {
+	var order []int
+	mk := func(id int) Component {
+		return &orderComp{id: id, order: &order}
+	}
+	s := NewStepper(KernelFast, 0, mk(0), mk(1), mk(2))
+	s.StepTo(100)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("tick order %v, want [0 1 2]", order)
+	}
+}
+
+type orderComp struct {
+	id    int
+	order *[]int
+}
+
+func (o *orderComp) Tick(uint64)            { *o.order = append(*o.order, o.id) }
+func (o *orderComp) NextWake(uint64) uint64 { return Never }
+
+func TestSkipStats(t *testing.T) {
+	c := &fakeComp{wake: func(now uint64) uint64 { return now + 10 }}
+	s := NewStepper(KernelFast, 0, c).(*Scheduler)
+	s.StepTo(1000)
+	s.StepTo(1000)
+	jumps, skipped := s.SkipStats()
+	if jumps != 2 || skipped != 18 { // 9 skipped per jump
+		t.Fatalf("jumps=%d skipped=%d, want 2/18", jumps, skipped)
+	}
+}
+
+func TestKernelParseAndString(t *testing.T) {
+	for _, k := range []Kernel{KernelFast, KernelStepped} {
+		got, err := ParseKernel(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round-trip %v: got %v err %v", k, got, err)
+		}
+	}
+	if _, err := ParseKernel("warp"); err == nil {
+		t.Fatal("ParseKernel accepted garbage")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"invisispec/internal/config"
+	"invisispec/internal/engine"
 	"invisispec/internal/invariant"
 	"invisispec/internal/isa"
 	"invisispec/internal/sim"
@@ -26,6 +27,7 @@ type measureOpts struct {
 	check     *invariant.Options
 	faultSeed *int64
 	ctx       context.Context
+	kernel    *engine.Kernel
 }
 
 // WithChecking enables the invariant checker and forward-progress watchdog
@@ -48,6 +50,16 @@ func WithFaultSeed(seed int64) Option {
 // the loop stops.
 func WithContext(ctx context.Context) Option {
 	return func(m *measureOpts) { m.ctx = ctx }
+}
+
+// WithKernel selects the simulation kernel (see internal/engine): the
+// quiescence-aware fast-forward scheduler (the default) or the cycle-by-cycle
+// reference stepper. The two produce byte-identical measurements — the
+// kernel-equivalence tests enforce it — so this option only changes host
+// wall-time; benchtable's -comparekernels mode uses it to record the
+// speedup.
+func WithKernel(k engine.Kernel) Option {
+	return func(m *measureOpts) { m.kernel = &k }
 }
 
 // testPanicHook, when non-nil, runs inside Measure's recovery scope. The
@@ -108,6 +120,9 @@ func Measure(run config.Run, name string, progs []*isa.Program, warmup, measure 
 	m, err := sim.New(run, progs)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s [%v/%v] setup: %w", name, run.Defense, run.Consistency, err)
+	}
+	if mo.kernel != nil {
+		m.SetKernel(*mo.kernel)
 	}
 	if mo.faultSeed != nil {
 		m.SeedFaults(*mo.faultSeed)
@@ -175,6 +190,9 @@ func Complete(run config.Run, name string, progs []*isa.Program, maxCycles uint6
 	m, err = sim.New(run, progs)
 	if err != nil {
 		return nil, fmt.Errorf("%s [%v/%v] setup: %w", name, run.Defense, run.Consistency, err)
+	}
+	if mo.kernel != nil {
+		m.SetKernel(*mo.kernel)
 	}
 	if mo.faultSeed != nil {
 		m.SeedFaults(*mo.faultSeed)

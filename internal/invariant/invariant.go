@@ -161,6 +161,17 @@ func (r *Registry) Check(t *Target) error {
 // has retired an instruction for WatchdogK cycles while done is false.
 // Halted cores are expected to stop retiring; the watchdog only trips while
 // the machine as a whole still owes work.
+//
+// The watchdog is skip-aware by construction: its window is the simulated
+// cycle delta between sweeps that observed progress, not a count of Watch
+// calls. The fast-forward kernel (internal/engine) caps every clock jump at
+// the sweep stride, so sweeps land on the same cycles under both kernels and
+// a k-cycle jump — legitimate idleness, cores stalled on far-future memory
+// events — widens the window by exactly k, the same as k stepped idle
+// cycles. A genuine retire stall therefore trips the watchdog at the
+// identical cycle under either kernel (the mutation self-tests assert
+// this), while fast-forwarding over healthy DRAM-bound windows cannot be
+// mistaken for lost progress any more than stepping through them is.
 func (r *Registry) Watch(t *Target, done bool) error {
 	if r.lastRetired == nil {
 		r.lastRetired = make([]uint64, len(t.Cores))

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"invisispec/internal/config"
+	"invisispec/internal/engine"
 	"invisispec/internal/invariant"
 	"invisispec/internal/isa"
 	"invisispec/internal/sim"
@@ -99,32 +100,68 @@ func TestMutationDuplicateMCaught(t *testing.T) {
 
 // Mutation self-test 3: stalling every core's retirement stage must trip the
 // forward-progress watchdog with a typed DeadlockError carrying per-core
-// progress and a machine dump.
+// progress and a machine dump — under BOTH simulation kernels. The fast
+// kernel fast-forwards through the wedged machine's idle windows (capped at
+// the sweep stride), so this also proves a skipped-over stall is not
+// mistaken for progress, and that detection lands on the identical cycle.
 func TestMutationRetireStallCaught(t *testing.T) {
+	var steppedErr, fastErr string
+	for _, k := range []engine.Kernel{engine.KernelStepped, engine.KernelFast} {
+		m := newMachine(t, config.Base)
+		m.SetKernel(k)
+		m.EnableChecking(invariant.Options{Interval: 64, WatchdogK: 3000})
+		for _, c := range m.Cores {
+			c.InjectRetireStall()
+		}
+		err := m.RunToCompletion(1_000_000)
+		if err == nil {
+			t.Fatalf("%v: stalled machine ran to completion", k)
+		}
+		if !errors.Is(err, invariant.ErrDeadlock) {
+			t.Fatalf("%v: expected ErrDeadlock, got: %v", k, err)
+		}
+		var de *invariant.DeadlockError
+		if !errors.As(err, &de) {
+			t.Fatalf("%v: expected *DeadlockError, got %T", k, err)
+		}
+		if de.Window < 3000 {
+			t.Fatalf("%v: deadlock window %d below configured K", k, de.Window)
+		}
+		if len(de.Retired) != 2 || len(de.PCs) != 2 {
+			t.Fatalf("%v: deadlock snapshot incomplete: %+v", k, de)
+		}
+		if de.Dump == "" || !strings.Contains(de.Dump, "machine dump") {
+			t.Fatalf("%v: deadlock dump missing: %q", k, de.Dump)
+		}
+		if k == engine.KernelStepped {
+			steppedErr = err.Error()
+		} else {
+			fastErr = err.Error()
+		}
+	}
+	if steppedErr != fastErr {
+		t.Fatalf("watchdog detection diverges between kernels:\nstepped: %s\nfast:    %s",
+			steppedErr, fastErr)
+	}
+}
+
+// A fully wedged machine under the fast kernel must not burn host time
+// stepping dead cycles: with no checker stride to land on, the scheduler
+// jumps straight between sweep boundaries, so detection needs only
+// O(WatchdogK / Interval) ticks. This asserts the jumps actually happen in
+// the stalled scenario (the behavioral half is TestMutationRetireStallCaught).
+func TestRetireStallFastForwardEngages(t *testing.T) {
 	m := newMachine(t, config.Base)
 	m.EnableChecking(invariant.Options{Interval: 64, WatchdogK: 3000})
 	for _, c := range m.Cores {
 		c.InjectRetireStall()
 	}
-	err := m.RunToCompletion(1_000_000)
-	if err == nil {
-		t.Fatal("stalled machine ran to completion")
-	}
-	if !errors.Is(err, invariant.ErrDeadlock) {
+	if err := m.RunToCompletion(1_000_000); !errors.Is(err, invariant.ErrDeadlock) {
 		t.Fatalf("expected ErrDeadlock, got: %v", err)
 	}
-	var de *invariant.DeadlockError
-	if !errors.As(err, &de) {
-		t.Fatalf("expected *DeadlockError, got %T", err)
-	}
-	if de.Window < 3000 {
-		t.Fatalf("deadlock window %d below configured K", de.Window)
-	}
-	if len(de.Retired) != 2 || len(de.PCs) != 2 {
-		t.Fatalf("deadlock snapshot incomplete: %+v", de)
-	}
-	if de.Dump == "" || !strings.Contains(de.Dump, "machine dump") {
-		t.Fatalf("deadlock dump missing: %q", de.Dump)
+	jumps, skipped := m.FastForwardStats()
+	if jumps == 0 || skipped == 0 {
+		t.Fatalf("fast kernel never jumped across the stalled machine (jumps=%d skipped=%d)", jumps, skipped)
 	}
 }
 

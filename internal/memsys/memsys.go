@@ -265,6 +265,21 @@ func (h *Hierarchy) DebugEventHistogram() map[uint64]int {
 // to drain the system at the end of a run).
 func (h *Hierarchy) Pending() bool { return len(h.events) > 0 }
 
+// NextWake implements the engine.Component quiescence contract: the
+// hierarchy's next non-trivial work is exactly its event-heap head (at()
+// clamps schedules to the future, so post-tick the head is strictly ahead
+// of now). With an empty heap the hierarchy is fully drained and only a
+// core-side submission can create work.
+func (h *Hierarchy) NextWake(now uint64) uint64 {
+	if len(h.events) == 0 {
+		return ^uint64(0) // engine.Never
+	}
+	if head := h.events[0].cycle; head > now {
+		return head
+	}
+	return now + 1
+}
+
 type event struct {
 	cycle uint64
 	seq   uint64

@@ -62,6 +62,12 @@ type BenchHost struct {
 	GoOS     string    `json:"goos"`
 	GoVer    string    `json:"go"`
 	PerRunMS []float64 `json:"run_ms"` // indexed like Runs
+	// KernelWallMS records the sweep's wall time per simulation kernel when
+	// benchtable -comparekernels re-runs the matrix under both (keys "fast"
+	// and "stepped"). Like everything in Host it is informational only —
+	// benchdiff trajectories show the fast-forward speedup without gating on
+	// it.
+	KernelWallMS map[string]float64 `json:"kernel_wall_ms,omitempty"`
 }
 
 // Bench is a full artifact.
@@ -145,6 +151,34 @@ func (b *Bench) WithHost(wall time.Duration, jobs int, results []JobResult) *Ben
 	}
 	b.Host = h
 	return b
+}
+
+// WithKernelWall records one kernel's sweep wall time in the host block
+// (creating the block if WithHost was not called). Returns b for chaining.
+func (b *Bench) WithKernelWall(kernel string, wall time.Duration) *Bench {
+	if b.Host == nil {
+		b.Host = &BenchHost{}
+	}
+	if b.Host.KernelWallMS == nil {
+		b.Host.KernelWallMS = make(map[string]float64, 2)
+	}
+	b.Host.KernelWallMS[kernel] = float64(wall.Nanoseconds()) / 1e6
+	return b
+}
+
+// DeterministicPayload renders the artifact's deterministic half — schema,
+// name, budgets, and every run — as indented JSON, excluding the Host block.
+// benchtable -comparekernels compares stepped-vs-fast payloads byte-for-byte
+// with this; the runner determinism tests compare serial-vs-parallel the
+// same way.
+func (b *Bench) DeterministicPayload() ([]byte, error) {
+	stripped := *b
+	stripped.Host = nil
+	out, err := json.MarshalIndent(&stripped, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("runner: marshaling bench payload: %w", err)
+	}
+	return out, nil
 }
 
 // WriteBenchJSON writes the artifact as indented JSON. Output is

@@ -1,7 +1,14 @@
-// Package sim is the top-level simulation engine: it assembles the cores,
-// the memory hierarchy and the functional memory image into a Machine, and
-// steps them cycle by cycle, deterministically (component tick order is
-// fixed; there is no wall-clock or random input anywhere in the simulator).
+// Package sim is the top-level simulation assembly: it builds the cores,
+// the memory hierarchy and the functional memory image into a Machine and
+// drives them through the internal/engine kernel, deterministically
+// (component tick order is fixed; there is no wall-clock or random input
+// anywhere in the simulator). Two kernels are available (see SetKernel):
+// the cycle-by-cycle reference stepper, and the default quiescence-aware
+// fast-forward scheduler, which jumps over globally-idle windows (all cores
+// stalled on memory) while producing byte-identical statistics — the
+// kernel-equivalence tests in this package hold the two to the same stats
+// fingerprint across the smoke matrix, under fault seeds, and with
+// invariant checking enabled.
 package sim
 
 import (
@@ -11,6 +18,7 @@ import (
 
 	"invisispec/internal/config"
 	"invisispec/internal/core"
+	"invisispec/internal/engine"
 	"invisispec/internal/faultinject"
 	"invisispec/internal/invariant"
 	"invisispec/internal/isa"
@@ -52,8 +60,15 @@ type Machine struct {
 	Stats *stats.Machine
 
 	cycle   uint64
+	kernel  engine.Kernel
+	eng     engine.Stepper
 	checker *invariant.Registry
 	faults  *faultinject.Injector
+
+	// nextCtxPoll is the next cycle at (or after) which the run loops poll
+	// the context. A monotone threshold rather than a modulo so fast-forward
+	// jumps cannot hop over poll points indefinitely.
+	nextCtxPoll uint64
 }
 
 // New builds a machine running progs[i] on core i. len(progs) must equal
@@ -74,6 +89,7 @@ func New(run config.Run, progs []*isa.Program) (*Machine, error) {
 		mem.LoadProgramImage(p)
 		m.Cores = append(m.Cores, core.New(i, run, p, mem, hier, &st.Cores[i]))
 	}
+	m.SetKernel(engine.KernelFast)
 	return m, nil
 }
 
@@ -90,14 +106,59 @@ func MustNew(run config.Run, progs []*isa.Program) *Machine {
 // Cycle returns the current cycle.
 func (m *Machine) Cycle() uint64 { return m.cycle }
 
-// Step advances the machine one cycle: hierarchy first (delivering this
-// cycle's responses), then each core in index order.
-func (m *Machine) Step() {
-	m.cycle++
-	m.Hier.Tick(m.cycle)
+// SetKernel selects the simulation kernel (engine.KernelFast by default).
+// Both kernels tick the hierarchy first (delivering the cycle's responses),
+// then each core in index order; the fast kernel additionally jumps the
+// clock over windows where every component reports quiescence. Switching
+// kernels mid-run is allowed and keeps the current cycle position.
+func (m *Machine) SetKernel(k engine.Kernel) {
+	m.kernel = k
+	comps := make([]engine.Component, 0, len(m.Cores)+1)
+	comps = append(comps, m.Hier)
 	for _, c := range m.Cores {
-		c.Tick(m.cycle)
+		comps = append(comps, c)
 	}
+	m.eng = engine.NewStepper(k, m.cycle, comps...)
+}
+
+// Kernel returns the active simulation kernel.
+func (m *Machine) Kernel() engine.Kernel { return m.kernel }
+
+// FastForwardStats reports how many clock jumps the fast kernel performed
+// and how many idle cycles they skipped (both zero under the reference
+// stepper). Diagnostics only; not part of simulated state.
+func (m *Machine) FastForwardStats() (jumps, skippedCycles uint64) {
+	if s, ok := m.eng.(*engine.Scheduler); ok {
+		return s.SkipStats()
+	}
+	return 0, 0
+}
+
+// Step advances the machine exactly one cycle (no fast-forwarding,
+// regardless of kernel): hierarchy first, then each core in index order.
+// Manual driver loops (tracing, tests) rely on the single-cycle guarantee.
+func (m *Machine) Step() {
+	m.cycle = m.eng.StepTo(m.cycle + 1)
+	m.Stats.Cycles = m.cycle
+}
+
+// advance moves time forward by at least one cycle, letting the fast kernel
+// jump idle windows. Jumps are capped at every boundary whose side effects
+// must land on exact cycles: the caller's cycle budget, and the invariant
+// checker's sweep stride (so sweeps — and the forward-progress watchdog's
+// windows — observe identical cycles under both kernels).
+func (m *Machine) advance(maxCycles uint64) {
+	limit := maxCycles
+	if m.checker != nil {
+		iv := m.checker.Interval()
+		if b := m.cycle + iv - m.cycle%iv; b < limit {
+			limit = b
+		}
+	}
+	if limit <= m.cycle {
+		limit = m.cycle + 1
+	}
+	m.cycle = m.eng.StepTo(limit)
 	m.Stats.Cycles = m.cycle
 }
 
@@ -136,7 +197,7 @@ func (m *Machine) RunToCompletionCtx(ctx context.Context, maxCycles uint64) erro
 		if err := m.ctxTick(ctx); err != nil {
 			return err
 		}
-		m.Step()
+		m.advance(maxCycles)
 		if err := m.checkTick(); err != nil {
 			return err
 		}
@@ -164,7 +225,7 @@ func (m *Machine) RunInstructionsCtx(ctx context.Context, n uint64, maxCycles ui
 		if err := m.ctxTick(ctx); err != nil {
 			return err
 		}
-		m.Step()
+		m.advance(maxCycles)
 		if err := m.checkTick(); err != nil {
 			return err
 		}
@@ -172,11 +233,17 @@ func (m *Machine) RunInstructionsCtx(ctx context.Context, n uint64, maxCycles ui
 	return nil
 }
 
-// ctxTick polls the context at the fixed stride.
+// ctxTick polls the context once the monotone threshold is reached. Under
+// the reference stepper this degenerates to the seed's modulo stride (every
+// cycle hits the loop top, so the first cycle >= threshold is the threshold
+// itself); under the fast kernel a jump that hops the threshold triggers the
+// poll at the landing cycle, keeping cancellation latency bounded by one
+// stride of simulated progress regardless of jump width.
 func (m *Machine) ctxTick(ctx context.Context) error {
-	if m.cycle%ctxCheckStride != 0 {
+	if m.cycle < m.nextCtxPoll {
 		return nil
 	}
+	m.nextCtxPoll = m.cycle + ctxCheckStride
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("sim: run aborted at cycle %d: %w", m.cycle, err)
 	}

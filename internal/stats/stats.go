@@ -176,6 +176,16 @@ func NewMachine(n int) *Machine {
 	return &Machine{Cores: make([]Core, n)}
 }
 
+// Fingerprint renders every counter in the stats block — global cycles,
+// per-core counters (retired, squashes by reason, InvisiSpec activity,
+// TLB, L1D), traffic by class, and the shared LLC/DRAM counters — into one
+// deterministic string. The kernel-equivalence tests compare fingerprints
+// byte-for-byte between the stepped and fast-forward simulation kernels;
+// any counter divergence, however small, fails the oracle.
+func (m *Machine) Fingerprint() string {
+	return fmt.Sprintf("%+v", *m)
+}
+
 // TotalTraffic returns all bytes moved.
 func (m *Machine) TotalTraffic() uint64 {
 	var t uint64
