@@ -9,7 +9,7 @@ GO ?= go
 JOBS ?= 4
 SMOKE_FLAGS = -fig 4 -warmup 5000 -measure 20000 -jobs $(JOBS) -quiet
 
-.PHONY: all build test vet race check ci bench smoke benchdiff baseline leakscan kernelcheck
+.PHONY: all build test vet race check ci bench smoke benchdiff baseline leakscan kernelcheck conform
 
 all: build
 
@@ -31,7 +31,7 @@ check: build vet race
 
 # What CI invokes; kept separate from `check` so CI-only steps can be
 # attached without changing the local gate.
-ci: check kernelcheck leakscan
+ci: check kernelcheck leakscan conform
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -60,6 +60,15 @@ benchdiff: smoke
 # leakage-report/v1 artifact CI uploads next to the bench artifact.
 leakscan:
 	$(GO) run ./cmd/leakscan -corpus smoke -trials 3 -jobs $(JOBS) -json LEAKAGE_smoke.json
+
+# Conformance-fuzzing gate: a fixed-seed campaign of generated programs
+# differentially checked against the golden interpreter across the full
+# defense × consistency × kernel matrix. Fails on any divergence and writes
+# the deterministic conform-report/v1 artifact CI uploads. Minimized
+# reproducers for past finds live in internal/conform/corpus and run with
+# the normal test suite.
+conform:
+	$(GO) run ./cmd/conformfuzz -seed 1 -n 200 -jobs $(JOBS) -q -shrink -json CONFORM_smoke.json
 
 # Regenerate the committed baseline (host block omitted so the artifact is
 # byte-stable across machines). Run after intentional timing-model changes,

@@ -184,3 +184,72 @@ func TestNewPanicsOnBadConfig(t *testing.T) {
 	}()
 	New(Config{LocalBits: 4, GlobalBits: 4, ChoiceBits: 4, BTBEntries: 0, RASEntries: 4})
 }
+
+// TestRASDeepNestSquashRestore drives the RAS through a speculative CALL/RET
+// nest deeper than its 16 entries — wrapping rasTop past the snapshot point —
+// then restores and checks the stack predicts exactly as before the wrong
+// path: rasTop is back where it was and no stale wrong-path entry survives,
+// even for pops that reach entries the wrong path overwrote after wrapping.
+func TestRASDeepNestSquashRestore(t *testing.T) {
+	p := New(DefaultConfig())
+	depth := p.cfg.RASEntries // 16
+	// Architecturally committed prefix: half-fill the stack.
+	for i := 0; i < depth/2; i++ {
+		p.PushRAS(100 + i)
+	}
+	snap := p.Snapshot()
+	wantTop := p.rasTop
+
+	// Wrong path 1: overflow. Push 2.5x the capacity so rasTop wraps twice
+	// and every slot — including the committed prefix — is overwritten.
+	for i := 0; i < depth*5/2; i++ {
+		p.PushRAS(9000 + i)
+	}
+	p.Restore(snap)
+	if p.rasTop != wantTop {
+		t.Fatalf("after overflow restore: rasTop = %d, want %d", p.rasTop, wantTop)
+	}
+	for i := depth/2 - 1; i >= 0; i-- {
+		if got := p.PopRAS(); got != 100+i {
+			t.Fatalf("after overflow restore: pop %d = %d, want %d", i, got, 100+i)
+		}
+	}
+	p.Restore(snap)
+
+	// Wrong path 2: underflow. Pop far past the live depth so rasTop wraps
+	// backwards through stale slots, then push new wrong-path entries.
+	for i := 0; i < depth*2; i++ {
+		p.PopRAS()
+	}
+	p.PushRAS(7777)
+	p.PushRAS(8888)
+	p.Restore(snap)
+	if p.rasTop != wantTop {
+		t.Fatalf("after underflow restore: rasTop = %d, want %d", p.rasTop, wantTop)
+	}
+	for i := depth/2 - 1; i >= 0; i-- {
+		if got := p.PopRAS(); got != 100+i {
+			t.Fatalf("after underflow restore: pop %d = %d, want %d", i, got, 100+i)
+		}
+	}
+
+	// Interleaved nests: snapshot inside a nest, speculate a deeper nest
+	// with returns, restore, and check the outer nest still unwinds.
+	p = New(DefaultConfig())
+	for i := 0; i < 3; i++ {
+		p.PushRAS(10 + i)
+	}
+	snap = p.Snapshot()
+	for i := 0; i < depth+4; i++ { // deeper than capacity
+		p.PushRAS(5000 + i)
+	}
+	for i := 0; i < depth+4; i++ {
+		p.PopRAS()
+	}
+	p.Restore(snap)
+	for i := 2; i >= 0; i-- {
+		if got := p.PopRAS(); got != 10+i {
+			t.Fatalf("nested restore: pop = %d, want %d", got, 10+i)
+		}
+	}
+}

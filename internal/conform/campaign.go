@@ -1,0 +1,208 @@
+package conform
+
+// The campaign fans generated programs through the shared bounded worker
+// pool (internal/runner): one task per program, each task running the full
+// configuration matrix against the golden model. The report artifact
+// follows the repo's bench/leakage pattern — a schema-versioned JSON whose
+// deterministic payload is byte-identical for the same (seed, n) at any
+// worker count, with all wall-clock data quarantined in a host block.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"invisispec/internal/runner"
+)
+
+// ReportSchema identifies the campaign artifact format.
+const ReportSchema = "conform-report/v1"
+
+// Options configures a campaign.
+type Options struct {
+	Seed uint64 // campaign seed; program i derives from Mix(Seed, i)
+	N    int    // number of programs
+	Jobs int    // worker count (<=0: GOMAXPROCS)
+	// Shrink minimizes every diverging program and embeds the minimized
+	// listing and a ready-to-commit corpus test in the report.
+	Shrink         bool
+	MaxShrinkEvals int       // oracle budget per shrink (default 2000)
+	Progress       io.Writer // optional per-program progress lines
+	Timeout        time.Duration
+}
+
+// ProgramResult is one program's deterministic outcome.
+type ProgramResult struct {
+	Index   int    `json:"index"`
+	Seed    uint64 `json:"seed"`
+	Insts   int    `json:"insts"`
+	Retired uint64 `json:"retired"`
+	Faults  uint64 `json:"faults,omitempty"`
+	// Error records a harness-level failure (the task died before the
+	// matrix completed); divergences are not errors.
+	Error       string       `json:"error,omitempty"`
+	Divergences []Divergence `json:"divergences,omitempty"`
+	// Shrink output, present only for diverging programs when enabled.
+	MinimizedLen int      `json:"minimized_len,omitempty"`
+	ShrinkEvals  int      `json:"shrink_evals,omitempty"`
+	Minimized    []string `json:"minimized_asm,omitempty"`
+	ReproGo      string   `json:"repro_go,omitempty"`
+}
+
+// Host quarantines the nondeterministic side of the artifact.
+type Host struct {
+	WallMS float64 `json:"wall_ms"`
+	Jobs   int     `json:"jobs"`
+	CPUs   int     `json:"cpus"`
+	GoOS   string  `json:"goos"`
+	GoVer  string  `json:"go"`
+}
+
+// Report is a full campaign artifact.
+type Report struct {
+	Schema    string          `json:"schema"`
+	Name      string          `json:"name"`
+	Seed      uint64          `json:"seed"`
+	Programs  int             `json:"programs"`
+	Configs   []string        `json:"configs"`
+	Diverging int             `json:"diverging"`
+	Errors    int             `json:"errors"`
+	Runs      []ProgramResult `json:"runs"`
+	Host      *Host           `json:"host,omitempty"`
+}
+
+// checkOne generates and checks program i, shrinking on divergence.
+func checkOne(ctx context.Context, opts Options, i int) ProgramResult {
+	seed := Mix(opts.Seed, uint64(i))
+	p := Generate(seed)
+	p.Name = fmt.Sprintf("conform-%d-%x", i, seed)
+	res := ProgramResult{Index: i, Seed: seed, Insts: len(p.Insts)}
+	ref, err := RunRef(p)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Retired, res.Faults = ref.Retired, ref.Faults
+	for _, cfg := range Configs() {
+		if ctx.Err() != nil {
+			res.Error = ctx.Err().Error()
+			return res
+		}
+		if reason := CheckConfig(p, cfg, ref); reason != "" {
+			res.Divergences = append(res.Divergences, Divergence{Config: cfg.String(), Reason: reason})
+		}
+	}
+	if len(res.Divergences) == 0 || !opts.Shrink {
+		return res
+	}
+	// Minimize against the first diverging configuration: one oracle
+	// evaluation is then a single golden run plus a single simulation.
+	var first Config
+	for _, cfg := range Configs() {
+		if cfg.String() == res.Divergences[0].Config {
+			first = cfg
+		}
+	}
+	budget := opts.MaxShrinkEvals
+	if budget <= 0 {
+		budget = 2000
+	}
+	min, st := Shrink(p, OracleFor([]Config{first}), budget)
+	min.Name = p.Name + "-min"
+	res.MinimizedLen = len(min.Insts)
+	res.ShrinkEvals = st.Evals
+	res.Minimized = Listing(min)
+	res.ReproGo = EmitGoTest(fmt.Sprintf("Seed%x", seed), res.Divergences[0].Config+": "+res.Divergences[0].Reason, min)
+	return res
+}
+
+// Campaign runs n programs through the matrix and assembles the report.
+// Runs are indexed by program, so the deterministic payload is
+// byte-identical regardless of worker count or scheduling.
+func Campaign(ctx context.Context, opts Options) *Report {
+	tasks := make([]runner.Task, opts.N)
+	for i := range tasks {
+		i := i
+		tasks[i] = runner.Task{
+			Name:    fmt.Sprintf("conform-%d", i),
+			Timeout: opts.Timeout,
+			Run: func(ctx context.Context) (any, error) {
+				return checkOne(ctx, opts, i), nil
+			},
+		}
+	}
+	start := time.Now()
+	results := runner.RunTasks(ctx, tasks, runner.Options{Jobs: opts.Jobs, Progress: opts.Progress})
+	var cfgNames []string
+	for _, c := range Configs() {
+		cfgNames = append(cfgNames, c.String())
+	}
+	rep := &Report{
+		Schema:   ReportSchema,
+		Name:     fmt.Sprintf("conform-seed%d", opts.Seed),
+		Seed:     opts.Seed,
+		Programs: opts.N,
+		Configs:  cfgNames,
+		Runs:     make([]ProgramResult, opts.N),
+	}
+	for i, r := range results {
+		switch {
+		case r.Err != nil:
+			// Pool-level failure (timeout, panic in the harness itself).
+			rep.Runs[i] = ProgramResult{Index: i, Seed: Mix(opts.Seed, uint64(i)), Error: r.Err.Error()}
+		default:
+			rep.Runs[i] = r.Value.(ProgramResult)
+		}
+		if rep.Runs[i].Error != "" {
+			rep.Errors++
+		}
+		if len(rep.Runs[i].Divergences) > 0 {
+			rep.Diverging++
+		}
+	}
+	rep.Host = &Host{
+		WallMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+		Jobs:   opts.Jobs,
+		CPUs:   runtime.NumCPU(),
+		GoOS:   runtime.GOOS,
+		GoVer:  runtime.Version(),
+	}
+	return rep
+}
+
+// DeterministicPayload renders the report without its host block, for
+// byte-identity comparison across worker counts.
+func (r *Report) DeterministicPayload() ([]byte, error) {
+	stripped := *r
+	stripped.Host = nil
+	out, err := json.MarshalIndent(&stripped, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("conform: marshaling report payload: %w", err)
+	}
+	return out, nil
+}
+
+// WriteReportJSON writes the full artifact as indented JSON.
+func WriteReportJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("conform: writing report JSON: %w", err)
+	}
+	return nil
+}
+
+// ReadReportJSON parses an artifact and validates its schema tag.
+func ReadReportJSON(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("conform: reading report JSON: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("conform: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	return &r, nil
+}

@@ -1,0 +1,11 @@
+// Package corpus holds minimized reproducers for every divergence the
+// conformance fuzzer has found. Each file is a generated Go test (see
+// conform.EmitGoTest) replaying one minimized program through
+// conform.RequireConformance, so a fixed bug is re-proven against the full
+// defense × consistency × kernel matrix on every test run.
+//
+// Policy: a divergence found by the fuzzer is fixed in the same change that
+// found it, and its minimized reproducer is committed here. Reproducers are
+// never deleted; a reproducer that starts failing means a fixed bug has
+// regressed.
+package corpus

@@ -1,0 +1,167 @@
+package conform
+
+// This file is the differential harness: one golden-interpreter run
+// (RunRef) against a simulator run per configuration (CheckConfig),
+// comparing final architectural state byte for byte. The comparison set is
+// the full register file plus every InitMem-covered window; generated
+// programs confine all architectural stores to those windows, so the set is
+// complete for them, and handcrafted reproducers follow the same rule.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"invisispec/internal/config"
+	"invisispec/internal/engine"
+	"invisispec/internal/harness"
+	"invisispec/internal/isa"
+)
+
+// Config is one simulator configuration of the conformance matrix.
+type Config struct {
+	Defense     config.Defense
+	Consistency config.Consistency
+	Kernel      engine.Kernel
+}
+
+// String names the configuration in reports, e.g. "IS-Fu/RC/fast".
+func (c Config) String() string {
+	return fmt.Sprintf("%s/%s/%s", c.Defense, c.Consistency, c.Kernel)
+}
+
+// Configs lists the full matrix in deterministic order: 5 defenses × 2
+// consistency models × 2 simulation kernels.
+func Configs() []Config {
+	var out []Config
+	for _, d := range config.AllDefenses() {
+		for _, cm := range []config.Consistency{config.TSO, config.RC} {
+			for _, k := range []engine.Kernel{engine.KernelFast, engine.KernelStepped} {
+				out = append(out, Config{Defense: d, Consistency: cm, Kernel: k})
+			}
+		}
+	}
+	return out
+}
+
+// RefState is the golden model's final architectural state.
+type RefState struct {
+	Regs    [isa.NumRegs]uint64
+	Mem     [][]byte // one snapshot per InitMem chunk, in chunk order
+	Retired uint64
+	Faults  uint64
+}
+
+// RunRef executes the program on the golden interpreter. An error means the
+// program is not a valid conformance input (it did not terminate within the
+// interpreter budget), not a divergence.
+func RunRef(p *isa.Program) (*RefState, error) {
+	it := isa.NewInterp(p)
+	if err := it.Run(interpBudget); err != nil {
+		return nil, fmt.Errorf("conform: %s: golden run: %w", p.Name, err)
+	}
+	ref := &RefState{Regs: it.Regs, Retired: it.Retired, Faults: it.Faults}
+	for _, ch := range p.InitMem {
+		ref.Mem = append(ref.Mem, it.Mem.ReadBytes(ch.Addr, len(ch.Data)))
+	}
+	return ref, nil
+}
+
+// maxCyclesFor sizes a simulator run's cycle budget from the golden run's
+// retired-instruction count, mirroring the harness's per-instruction budget:
+// exhaustion means the simulator stopped making progress, which the harness
+// reports as an error and the differ flags as a divergence.
+func maxCyclesFor(retired uint64) uint64 {
+	return 100_000 + 600*retired
+}
+
+// Divergence records one configuration disagreeing with the golden model.
+type Divergence struct {
+	Config string `json:"config"`
+	Reason string `json:"reason"`
+}
+
+// CheckConfig runs p under one configuration and compares final state with
+// the golden run. It returns "" on conformance, else a deterministic
+// divergence reason (a state mismatch, or a simulator error — panic,
+// deadlock, exhausted budget — which is equally a conformance failure).
+func CheckConfig(p *isa.Program, cfg Config, ref *RefState) string {
+	run := config.Run{Machine: config.Default(1), Defense: cfg.Defense, Consistency: cfg.Consistency}
+	m, err := harness.Complete(run, p.Name, []*isa.Program{p}, maxCyclesFor(ref.Retired),
+		harness.WithKernel(cfg.Kernel))
+	if err != nil {
+		return "simulator error: " + firstLine(err.Error())
+	}
+	regs := m.Cores[0].Regs()
+	for i := range ref.Regs {
+		if regs[i] != ref.Regs[i] {
+			return fmt.Sprintf("r%d = %#x, golden %#x", i, regs[i], ref.Regs[i])
+		}
+	}
+	for ci, ch := range p.InitMem {
+		got := m.Mem.ReadBytes(ch.Addr, len(ch.Data))
+		for b := range got {
+			if got[b] != ref.Mem[ci][b] {
+				return fmt.Sprintf("mem[%#x] = %#x, golden %#x",
+					ch.Addr+uint64(b), got[b], ref.Mem[ci][b])
+			}
+		}
+	}
+	return ""
+}
+
+// firstLine truncates multi-line error text (panic reports carry a full
+// machine dump) to its first line for reports; the line includes the cycle
+// number and panic value, which is deterministic per configuration.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// CheckAll runs the whole matrix and returns every diverging configuration
+// in matrix order.
+func CheckAll(p *isa.Program, ref *RefState) []Divergence {
+	var divs []Divergence
+	for _, cfg := range Configs() {
+		if reason := CheckConfig(p, cfg, ref); reason != "" {
+			divs = append(divs, Divergence{Config: cfg.String(), Reason: reason})
+		}
+	}
+	return divs
+}
+
+// RequireConformance asserts p conforms under the full matrix. Corpus
+// reproducers call it so every fixed bug stays fixed in every
+// configuration.
+func RequireConformance(t *testing.T, p *isa.Program) {
+	t.Helper()
+	ref, err := RunRef(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range CheckAll(p, ref) {
+		t.Errorf("%s: %s diverges: %s", p.Name, d.Config, d.Reason)
+	}
+}
+
+// OracleFor builds a shrinking oracle that reports whether a candidate
+// still diverges on any of the given configurations. Candidates that no
+// longer terminate in the golden model are rejected (they are invalid
+// inputs, not divergences), which keeps shrinking sound: every kept
+// reduction is itself a valid failing conformance input.
+func OracleFor(cfgs []Config) Oracle {
+	return func(p *isa.Program) (bool, string) {
+		ref, err := RunRef(p)
+		if err != nil {
+			return false, ""
+		}
+		for _, cfg := range cfgs {
+			if reason := CheckConfig(p, cfg, ref); reason != "" {
+				return true, reason
+			}
+		}
+		return false, ""
+	}
+}

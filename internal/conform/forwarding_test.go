@@ -1,0 +1,104 @@
+package conform
+
+// Regression programs for the store-to-load forwarding and squash
+// interaction bugs fixed in this change, proven at the conformance level:
+// each handcrafted program must match the golden interpreter under all 5
+// defenses × {TSO, RC} × {stepped, fast} — not just the baseline config the
+// core unit tests exercise. All architectural stores stay inside
+// InitMem-covered windows so the differ's comparison set is complete.
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"invisispec/internal/isa"
+)
+
+// squashForwardProgram builds a program where a store/load pair sits on one
+// side of a data-dependent branch whose condition arrives late (a cold load
+// from a different cache line). Whichever way the predictor guesses, one of
+// the two polarities puts the pair on a mispredicted path: the load forwards
+// from the in-flight speculative store, the branch resolves, the pair is
+// squashed mid-flight, and execution re-runs down the other path. Final
+// state must match the golden model in every configuration — the squashed
+// store must never become visible, and the re-executed load must read the
+// architectural value.
+func squashForwardProgram(name string, condVal uint64) *isa.Program {
+	base := uint64(0x3400)
+	window := make([]byte, 136)
+	binary.LittleEndian.PutUint64(window[128:], condVal)
+	b := isa.NewBuilder(name)
+	b.Data(base, window)
+	b.Li(1, base).
+		Li(2, 0xAA).
+		Li(3, 0xBB).
+		St(8, 1, 0, 3).   // architectural value at [base] = 0xBB
+		Ld(8, 4, 1, 128). // cold line: the branch condition resolves late
+		Li(5, 1).
+		Beq(4, 5, "taken")
+	// Fall-through side: speculative when condVal == 1 and the predictor
+	// guesses taken... or architectural when condVal != 1.
+	b.St(8, 1, 0, 2).  // store 0xAA over [base]
+		Ld(8, 6, 1, 0). // forwards 0xAA from the in-flight store
+		Add(7, 6, 6).   // dependent consumer of the forwarded value
+		Jmp("end")
+	b.Label("taken").
+		Ld(8, 6, 1, 0). // must read 0xBB if the fall-through was squashed
+		Add(7, 6, 3)
+	b.Label("end").Halt()
+	return b.MustBuild()
+}
+
+// TestSquashDuringForwarding runs both branch polarities so the
+// store+forwarded-load pair lands on a mispredicted path regardless of the
+// predictor's initial guess (satellite: squash-during-forwarding regression
+// under all 5 defenses).
+func TestSquashDuringForwarding(t *testing.T) {
+	RequireConformance(t, squashForwardProgram("squash-fwd-taken", 1))
+	RequireConformance(t, squashForwardProgram("squash-fwd-nottaken", 0))
+}
+
+// TestPartialOverlapForwarding is the conformance-level reproducer for the
+// store-to-load forwarding coverage bug: narrow loads fully contained in a
+// wide store must forward, while wide loads only partially covered by a
+// narrow store must wait for the store to perform and then merge — never
+// forward a truncated value.
+func TestPartialOverlapForwarding(t *testing.T) {
+	base := uint64(0x3500)
+	b := isa.NewBuilder("partial-fwd")
+	b.Data(base, make([]byte, 64))
+	b.Li(1, base).
+		Li(2, 0x1122334455667788).
+		St(8, 1, 0, 2).
+		Ld(4, 3, 1, 0). // contained: low word forwards
+		Ld(2, 4, 1, 6). // contained: bytes 6..7 forward
+		Ld(1, 5, 1, 3). // contained: single byte forwards
+		Li(6, 0x9999).
+		St(2, 1, 4, 6). // narrow store over bytes 4..5
+		Ld(8, 7, 1, 0). // partial overlap: must merge, not forward
+		Ld(4, 8, 1, 4). // partial overlap (store covers only half)
+		Ld(2, 9, 1, 4). // exact coverage: forwards from the narrow store
+		Halt()
+	RequireConformance(t, b.MustBuild())
+}
+
+// TestMisalignedAddressing pins the natural-alignment contract: unaligned
+// effective addresses are aligned down identically by the interpreter and
+// the core's address generation, so accesses never straddle a cache line
+// and both models touch the same bytes.
+func TestMisalignedAddressing(t *testing.T) {
+	base := uint64(0x3600)
+	b := isa.NewBuilder("misaligned")
+	b.Data(base, make([]byte, 128))
+	b.Li(1, base).
+		Li(2, 0xDEADBEEFCAFEF00D).
+		St(8, 1, 61, 2). // aligns to +56
+		Ld(8, 3, 1, 63). // aligns to +56: reads the store
+		St(4, 1, 70, 2). // aligns to +68
+		Ld(4, 4, 1, 71). // aligns to +68
+		Ld(2, 5, 1, 69). // aligns to +68: contained in the 4-byte store
+		St(2, 1, 99, 2). // aligns to +98
+		Ld(1, 6, 1, 99). // size-1 load: no alignment, reads byte 99
+		Halt()
+	RequireConformance(t, b.MustBuild())
+}

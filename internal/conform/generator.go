@@ -1,0 +1,477 @@
+// Package conform implements differential conformance fuzzing of the
+// out-of-order core against the golden functional interpreter
+// (isa.Interp). A seeded generator produces well-formed, terminating
+// programs that stress the machinery most likely to diverge under
+// squash-heavy transient execution — ALU/MUL/DIV edge cases, aliasing
+// load/store mixes through the LSQ, fences and atomics, CALL/RET nests
+// deeper than the 16-entry RAS, indirect jumps through data-dependent
+// tables, and exception-raising privileged loads. Each program runs through
+// the interpreter once and through the full simulator under every defense ×
+// consistency model × simulation kernel, and the final architectural state
+// (registers plus every initialized memory window) must be byte-identical.
+// Failures auto-shrink to minimized reproducers committed under
+// internal/conform/corpus.
+package conform
+
+import (
+	"fmt"
+
+	"invisispec/internal/isa"
+)
+
+// Memory map of generated programs. Every range is covered by InitMem, which
+// doubles as the set of windows the differential harness compares, so all
+// architectural stores land in compared memory by construction.
+const (
+	// DataBase anchors the random-access data window. Address registers are
+	// confined to [DataBase, DataBase+dataMask] and offsets to [0, 63], so
+	// with up-to-8-byte accesses the window below covers every reachable
+	// byte.
+	DataBase = 0x10000
+	dataMask = 1023
+	dataLen  = dataMask + 64 + 8 + 1 // 1096, rounded up below
+	// StackBase holds the static spill slots of the generated call chain
+	// (one 8-byte slot per nesting depth).
+	StackBase = 0x20000
+	// TableBase holds jump tables: 4 u64 instruction indices per table,
+	// 32 bytes apart.
+	TableBase  = 0x30000
+	tableSlots = 4
+	maxTables  = 8
+)
+
+// maxCallDepth bounds the generated CALL chain; it deliberately exceeds the
+// 16-entry RAS so deep nests wrap the stack.
+const maxCallDepth = 24
+
+// interpBudget bounds the golden run. Generated programs terminate by
+// construction (forward-only control flow, counted loops, static call
+// chains); the budget is the certificate the generator checks before
+// accepting a program.
+const interpBudget = 200_000
+
+// rng is a self-contained splitmix64 generator so program generation is
+// reproducible from a single uint64 and independent of math/rand.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) n(n int) int        { return int(r.next() % uint64(n)) }
+func (r *rng) chance(pct int) bool { return r.n(100) < pct }
+
+// Mix derives a child seed; the campaign uses it so program i depends only
+// on (campaign seed, i), never on worker scheduling.
+func Mix(seed, i uint64) uint64 {
+	r := rng{s: seed ^ (i+1)*0xd1342543de82ef95}
+	return r.next()
+}
+
+// Register conventions. Generated code keeps a few registers with global
+// invariants so exception continuations and address masking stay
+// well-formed on every architectural path; everything else is clobbered
+// freely.
+const (
+	rVal0    = 0  // r0..r7: value scratch
+	rAddr0   = 8  // r8..r15: data-window addresses (always in-window)
+	rCtr0    = 16 // r16..r19: loop counters
+	rTmp0    = 20 // r20..r23: address/table temporaries
+	rTable   = 24 // jump-table base
+	rScratch = 25 // extra value scratch
+	rFaults  = 26 // fault counter bumped by the exception handler
+	rZero    = 27 // constant zero
+	rLink    = 28 // link register for CALL/RET
+	rCont    = 29 // exception continuation (next segment's index)
+	rStack   = 30 // stack base
+	rData    = 31 // data-window base
+)
+
+// Symbolic branch targets: instruction indices are unknown while segments
+// are being emitted, so targets carry symbol ids resolved by a fixup pass.
+// sym(i) for segment i, symFunc(k) for call-chain function k.
+const symBase = 1 << 24
+
+func sym(i int) int      { return symBase + i }
+func symFunc(k int) int  { return 2*symBase + k }
+
+type segKind int
+
+const (
+	segALU segKind = iota
+	segMem
+	segLoop
+	segBranch
+	segTable
+	segCall
+	numSegKinds
+)
+
+type gen struct {
+	r      rng
+	insts  []isa.Inst
+	immFix []int   // instructions whose Imm holds a symbolic index (Li rCont)
+	seg    []int   // segment start indices; seg[nSegs] is the halt
+	fn     []int   // function entry indices
+	tables [][]int // per-table symbolic targets
+	nSegs  int
+	depth  int
+}
+
+func (g *gen) emit(in isa.Inst) int {
+	g.insts = append(g.insts, in)
+	return len(g.insts) - 1
+}
+
+func (g *gen) li(rd uint8, v uint64) { g.emit(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: int64(v)}) }
+
+// liSym emits a load of a symbolic instruction index, fixed up after layout.
+func (g *gen) liSym(rd uint8, s int) {
+	g.immFix = append(g.immFix, g.emit(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: int64(s)}))
+}
+
+func (g *gen) valReg() uint8  { return uint8(rVal0 + g.r.n(8)) }
+func (g *gen) addrReg() uint8 { return uint8(rAddr0 + g.r.n(8)) }
+func (g *gen) size() uint8    { return []uint8{1, 2, 4, 8}[g.r.n(4)] }
+
+// interesting constants steer ALU edge cases: divide-by-zero feeds, signed
+// overflow, all-ones (-1) divisors, shift counts at and past the width.
+func (g *gen) constant() uint64 {
+	switch g.r.n(8) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return ^uint64(0) // -1
+	case 3:
+		return 1 << 63 // MinInt64
+	case 4:
+		return uint64(g.r.n(128)) // small
+	default:
+		return g.r.next()
+	}
+}
+
+func (g *gen) aluInst() isa.Inst {
+	rd, a, b := g.valReg(), g.valReg(), g.valReg()
+	switch g.r.n(12) {
+	case 0:
+		return isa.Inst{Op: isa.OpMul, Rd: rd, Rs1: a, Rs2: b}
+	case 1:
+		return isa.Inst{Op: isa.OpDiv, Rd: rd, Rs1: a, Rs2: b}
+	case 2:
+		// Signed divide, sometimes explicitly by the zero register.
+		if g.r.chance(30) {
+			b = rZero
+		}
+		return isa.Inst{Op: isa.OpDivS, Rd: rd, Rs1: a, Rs2: b}
+	case 3:
+		if g.r.chance(30) {
+			b = rZero
+		}
+		return isa.Inst{Op: isa.OpRemU, Rd: rd, Rs1: a, Rs2: b}
+	case 4:
+		return isa.Inst{Op: isa.OpShl, Rd: rd, Rs1: a, Rs2: b}
+	case 5:
+		return isa.Inst{Op: isa.OpShr, Rd: rd, Rs1: a, Rs2: b}
+	case 6:
+		return isa.Inst{Op: isa.OpSlt, Rd: rd, Rs1: a, Rs2: b}
+	case 7:
+		return isa.Inst{Op: isa.OpAddI, Rd: rd, Rs1: a, Imm: int64(g.constant())}
+	case 8:
+		return isa.Inst{Op: isa.OpLui, Rd: rd, Imm: int64(g.constant())}
+	case 9:
+		return isa.Inst{Op: isa.OpXor, Rd: rd, Rs1: a, Rs2: b}
+	case 10:
+		return isa.Inst{Op: isa.OpSub, Rd: rd, Rs1: a, Rs2: b}
+	default:
+		return isa.Inst{Op: isa.OpAdd, Rd: rd, Rs1: a, Rs2: b}
+	}
+}
+
+// memInst emits one data-window access. Offsets are drawn without alignment
+// so the shared AlignAddr rule is exercised on every path.
+func (g *gen) memInst(allowPriv bool) isa.Inst {
+	a := g.addrReg()
+	sz := g.size()
+	imm := int64(g.r.n(64))
+	switch g.r.n(10) {
+	case 0, 1, 2:
+		return isa.Inst{Op: isa.OpStore, Rs1: a, Rs2: g.valReg(), Imm: imm, Size: sz}
+	case 3:
+		return isa.Inst{Op: isa.OpRMW, Rd: g.valReg(), Rs1: a, Rs2: g.valReg(), Size: sz}
+	case 4:
+		if allowPriv && g.r.chance(50) {
+			return isa.Inst{Op: isa.OpLoad, Rd: g.valReg(), Rs1: a, Imm: imm, Size: sz, Priv: true}
+		}
+		return isa.Inst{Op: isa.OpLoad, Rd: g.valReg(), Rs1: a, Imm: imm, Size: sz, Safe: true}
+	case 5:
+		return isa.Inst{Op: isa.OpPrefetch, Rs1: a, Imm: imm}
+	case 6:
+		return isa.Inst{Op: isa.OpFlush, Rs1: a, Imm: imm}
+	default:
+		return isa.Inst{Op: isa.OpLoad, Rd: g.valReg(), Rs1: a, Imm: imm, Size: sz}
+	}
+}
+
+func (g *gen) fence() isa.Inst {
+	switch g.r.n(3) {
+	case 0:
+		return isa.Inst{Op: isa.OpFence}
+	case 1:
+		return isa.Inst{Op: isa.OpAcquire}
+	default:
+		return isa.Inst{Op: isa.OpRelease}
+	}
+}
+
+// retargetAddrReg re-points an address register, either statically or
+// data-dependently (masked into the window, the Spectre-shaped pattern).
+func (g *gen) retargetAddrReg() {
+	a := g.addrReg()
+	if g.r.chance(50) {
+		g.li(a, DataBase+uint64(g.r.n(dataMask+1)))
+		return
+	}
+	t := uint8(rTmp0 + g.r.n(4))
+	g.emit(isa.Inst{Op: isa.OpAndI, Rd: t, Rs1: g.valReg(), Imm: dataMask})
+	g.emit(isa.Inst{Op: isa.OpAdd, Rd: a, Rs1: t, Rs2: rData})
+}
+
+// segment emits one segment of the given kind. Each segment opens by setting
+// the exception continuation to the next segment's start, so a privileged
+// load faulting anywhere inside resumes at a well-defined forward point.
+func (g *gen) segment(i int, kind segKind, forcePriv bool) {
+	g.seg[i] = len(g.insts)
+	g.liSym(rCont, sym(i+1))
+	switch kind {
+	case segALU:
+		for n := 2 + g.r.n(6); n > 0; n-- {
+			g.emit(g.aluInst())
+		}
+	case segMem:
+		if g.r.chance(60) {
+			g.retargetAddrReg()
+		}
+		for n := 3 + g.r.n(6); n > 0; n-- {
+			g.emit(g.memInst(true))
+		}
+		if forcePriv {
+			// The first mem segment guarantees the rarer constructs so
+			// every program has an exception source, an atomic, and a fence.
+			g.emit(isa.Inst{Op: isa.OpRMW, Rd: g.valReg(), Rs1: g.addrReg(),
+				Rs2: g.valReg(), Size: g.size()})
+			g.emit(g.fence())
+			g.emit(isa.Inst{Op: isa.OpLoad, Rd: g.valReg(), Rs1: g.addrReg(),
+				Imm: int64(g.r.n(64)), Size: g.size(), Priv: true})
+		}
+	case segLoop:
+		ctr := uint8(rCtr0 + i%4)
+		g.li(ctr, uint64(1+g.r.n(6)))
+		top := len(g.insts)
+		for n := 1 + g.r.n(4); n > 0; n-- {
+			if g.r.chance(35) {
+				g.emit(g.memInst(false))
+			} else {
+				g.emit(g.aluInst())
+			}
+		}
+		g.emit(isa.Inst{Op: isa.OpAddI, Rd: ctr, Rs1: ctr, Imm: -1})
+		// The only backward branch; the counter strictly decreases so the
+		// loop terminates in at most 6 iterations.
+		g.emit(isa.Inst{Op: isa.OpBne, Rs1: ctr, Rs2: rZero, Target: top})
+	case segBranch:
+		for n := 1 + g.r.n(3); n > 0; n-- {
+			g.emit(g.aluInst())
+		}
+		ops := []isa.Op{isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge}
+		maxSkip := g.nSegs - i
+		if maxSkip > 3 {
+			maxSkip = 3
+		}
+		tgt := sym(i + 1 + g.r.n(maxSkip))
+		if g.r.chance(15) {
+			g.emit(isa.Inst{Op: isa.OpJmp, Target: tgt})
+		} else {
+			g.emit(isa.Inst{Op: ops[g.r.n(4)], Rs1: g.valReg(), Rs2: g.valReg(), Target: tgt})
+		}
+	case segTable:
+		t := len(g.tables)
+		maxSkip := g.nSegs - i
+		if maxSkip > tableSlots {
+			maxSkip = tableSlots
+		}
+		entries := make([]int, tableSlots)
+		for e := range entries {
+			entries[e] = sym(i + 1 + g.r.n(maxSkip))
+		}
+		g.tables = append(g.tables, entries)
+		idx, ptr := uint8(rTmp0), uint8(rTmp0+1)
+		g.emit(isa.Inst{Op: isa.OpAndI, Rd: idx, Rs1: g.valReg(), Imm: tableSlots - 1})
+		g.emit(isa.Inst{Op: isa.OpShlI, Rd: idx, Rs1: idx, Imm: 3})
+		g.emit(isa.Inst{Op: isa.OpAdd, Rd: ptr, Rs1: idx, Rs2: rTable})
+		g.emit(isa.Inst{Op: isa.OpLoad, Rd: ptr, Rs1: ptr, Imm: int64(32 * t), Size: 8})
+		g.emit(isa.Inst{Op: isa.OpJmpI, Rs1: ptr})
+	case segCall:
+		g.emit(isa.Inst{Op: isa.OpCall, Rd: rLink, Target: symFunc(0)})
+	}
+	if g.r.chance(25) {
+		g.emit(g.fence())
+	}
+}
+
+// function emits call-chain function k: spill the link register to a static
+// stack slot, do a little work, call the next function in the chain, and
+// return through the RAS. Function bodies never raise exceptions or jump
+// indirectly, so the chain always unwinds.
+func (g *gen) function(k int) {
+	g.fn[k] = len(g.insts)
+	g.emit(isa.Inst{Op: isa.OpStore, Rs1: rStack, Rs2: rLink, Imm: int64(8 * k), Size: 8})
+	for n := 1 + g.r.n(3); n > 0; n-- {
+		if g.r.chance(30) {
+			g.emit(g.memInst(false))
+		} else {
+			g.emit(g.aluInst())
+		}
+	}
+	if k+1 < g.depth {
+		g.emit(isa.Inst{Op: isa.OpCall, Rd: rLink, Target: symFunc(k + 1)})
+	}
+	g.emit(isa.Inst{Op: isa.OpLoad, Rd: rLink, Rs1: rStack, Imm: int64(8 * k), Size: 8})
+	g.emit(isa.Inst{Op: isa.OpRet, Rs1: rLink})
+}
+
+// genOnce builds one candidate program from the seed.
+func genOnce(seed uint64, name string) *isa.Program {
+	g := &gen{r: rng{s: seed}}
+	g.nSegs = 8 + g.r.n(6)
+	g.depth = 4 + g.r.n(maxCallDepth-3)
+	g.seg = make([]int, g.nSegs+1)
+	g.fn = make([]int, g.depth)
+
+	// Preamble: pin the invariant registers, seed the value registers with
+	// edge-case constants, and point every address register in-window.
+	g.li(rData, DataBase)
+	g.li(rStack, StackBase)
+	g.li(rTable, TableBase)
+	g.li(rZero, 0)
+	g.li(rFaults, 0)
+	g.li(rScratch, g.constant())
+	for v := 0; v < 8; v++ {
+		g.li(uint8(rVal0+v), g.constant())
+	}
+	for a := 0; a < 8; a++ {
+		g.li(uint8(rAddr0+a), DataBase+uint64(g.r.n(dataMask+1)))
+	}
+
+	// One of each segment kind is mandatory (so every program exercises
+	// loops, branches, tables, calls, and an exception-raising load); the
+	// rest are drawn at random, then the order is shuffled.
+	kinds := make([]segKind, g.nSegs)
+	for i := 0; i < g.nSegs; i++ {
+		if i < int(numSegKinds) {
+			kinds[i] = segKind(i)
+		} else {
+			kinds[i] = segKind(g.r.n(int(numSegKinds)))
+		}
+	}
+	for i := len(kinds) - 1; i > 0; i-- {
+		j := g.r.n(i + 1)
+		kinds[i], kinds[j] = kinds[j], kinds[i]
+	}
+	tablesUsed := 0
+	privDone := false
+	for i, k := range kinds {
+		if k == segTable {
+			if tablesUsed >= maxTables {
+				k = segBranch
+			} else {
+				tablesUsed++
+			}
+		}
+		force := k == segMem && !privDone
+		if force {
+			privDone = true
+		}
+		g.segment(i, k, force)
+	}
+	g.seg[g.nSegs] = g.emit(isa.Inst{Op: isa.OpHalt})
+	for k := 0; k < g.depth; k++ {
+		g.function(k)
+	}
+	handler := g.emit(isa.Inst{Op: isa.OpAddI, Rd: rFaults, Rs1: rFaults, Imm: 1})
+	g.emit(isa.Inst{Op: isa.OpJmpI, Rs1: rCont})
+
+	// Fixups: resolve symbolic branch targets and continuation immediates.
+	resolve := func(s int) int {
+		switch {
+		case s >= 2*symBase:
+			return g.fn[s-2*symBase]
+		case s >= symBase:
+			return g.seg[s-symBase]
+		}
+		return s
+	}
+	for i := range g.insts {
+		in := &g.insts[i]
+		if in.Op.IsBranch() && in.Target >= symBase {
+			in.Target = resolve(in.Target)
+		}
+	}
+	for _, i := range g.immFix {
+		g.insts[i].Imm = int64(resolve(int(g.insts[i].Imm)))
+	}
+
+	// Initial memory image: random data window, zeroed stack, and the jump
+	// tables. These chunks are also the windows the differential harness
+	// compares, and they cover every architecturally reachable store.
+	data := make([]byte, (dataLen+63)&^63)
+	for i := range data {
+		data[i] = byte(g.r.next())
+	}
+	initMem := []isa.InitChunk{
+		{Addr: DataBase, Data: data},
+		{Addr: StackBase, Data: make([]byte, 8*maxCallDepth)},
+	}
+	if tablesUsed > 0 {
+		tab := make([]byte, 32*tablesUsed)
+		for t, entries := range g.tables {
+			for e, s := range entries {
+				v := uint64(resolve(s))
+				for b := 0; b < 8; b++ {
+					tab[32*t+8*e+b] = byte(v >> (8 * b))
+				}
+			}
+		}
+		initMem = append(initMem, isa.InitChunk{Addr: TableBase, Data: tab})
+	}
+
+	return &isa.Program{
+		Name:    name,
+		Insts:   g.insts,
+		Entry:   0,
+		Handler: handler,
+		InitMem: initMem,
+	}
+}
+
+// Generate builds the program for a seed. Programs terminate by
+// construction; the golden interpreter certifies it (and bounds the
+// simulator cycle budgets downstream). A candidate that fails the
+// certificate — which would indicate a generator bug — is resampled
+// deterministically.
+func Generate(seed uint64) *isa.Program {
+	for attempt := 0; attempt < 100; attempt++ {
+		p := genOnce(Mix(seed, uint64(attempt)), fmt.Sprintf("conform-%x", seed))
+		it := isa.NewInterp(p)
+		if err := it.Run(interpBudget); err == nil {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("conform: seed %#x produced no terminating program in 100 attempts", seed))
+}

@@ -1,0 +1,179 @@
+package conform
+
+// Auto-shrinking of diverging programs. The shrinker is deterministic and
+// bounded: given the same program and oracle it always produces the same
+// minimized reproducer, and it never evaluates the oracle more than the
+// given budget. Three passes run in order:
+//
+//  1. Instruction deletion, ddmin-style: spans of instructions are replaced
+//     with nops (keeping indices stable so branch targets and jump-table
+//     entries stay valid), halving the span size down to single
+//     instructions, repeated to a fixpoint.
+//  2. Operand simplification: per surviving instruction, try zeroing the
+//     immediate and dropping the Priv/Safe flags; per InitMem chunk, try
+//     dropping the chunk and zeroing its data.
+//  3. Compaction: strip the accumulated nops, remapping branch targets,
+//     the entry point, and the handler. Indirect targets held in data
+//     (jump tables) cannot be remapped, so the compacted candidate is
+//     verified by the oracle like any other reduction and discarded if the
+//     divergence does not survive.
+//
+// Every kept candidate re-proved the divergence through the oracle, so the
+// final program is a genuine failing input, not an approximation.
+
+import "invisispec/internal/isa"
+
+// Oracle reports whether a candidate program still exhibits the divergence
+// being minimized, with a reason for reporting. It must be deterministic.
+type Oracle func(p *isa.Program) (diverges bool, reason string)
+
+// ShrinkStats summarizes a shrink run.
+type ShrinkStats struct {
+	Evals int // oracle evaluations spent
+	From  int // instruction count before
+	To    int // instruction count after (excluding nops only if compacted)
+}
+
+func cloneProgram(p *isa.Program) *isa.Program {
+	q := *p
+	q.Insts = append([]isa.Inst(nil), p.Insts...)
+	q.InitMem = make([]isa.InitChunk, len(p.InitMem))
+	for i, ch := range p.InitMem {
+		q.InitMem[i] = isa.InitChunk{Addr: ch.Addr, Data: append([]byte(nil), ch.Data...)}
+	}
+	return &q
+}
+
+// Shrink minimizes p with respect to oracle, spending at most maxEvals
+// oracle evaluations. p must itself satisfy the oracle; Shrink never
+// returns a program that does not.
+func Shrink(p *isa.Program, oracle Oracle, maxEvals int) (*isa.Program, ShrinkStats) {
+	cur := cloneProgram(p)
+	st := ShrinkStats{From: len(p.Insts)}
+	try := func(cand *isa.Program) bool {
+		if st.Evals >= maxEvals {
+			return false
+		}
+		st.Evals++
+		if ok, _ := oracle(cand); ok {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	// Pass 1: nop-out deletion to a fixpoint.
+	for changed := true; changed && st.Evals < maxEvals; {
+		changed = false
+		for span := len(cur.Insts); span >= 1; span /= 2 {
+			for start := 0; start < len(cur.Insts); start += span {
+				end := start + span
+				if end > len(cur.Insts) {
+					end = len(cur.Insts)
+				}
+				if allNops(cur.Insts[start:end]) {
+					continue
+				}
+				cand := cloneProgram(cur)
+				for i := start; i < end; i++ {
+					cand.Insts[i] = isa.Inst{Op: isa.OpNop}
+				}
+				if try(cand) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Pass 2: operand simplification.
+	for i := range cur.Insts {
+		in := cur.Insts[i]
+		if in.Op == isa.OpNop {
+			continue
+		}
+		if in.Imm != 0 {
+			cand := cloneProgram(cur)
+			cand.Insts[i].Imm = 0
+			try(cand)
+		}
+		if cur.Insts[i].Priv {
+			cand := cloneProgram(cur)
+			cand.Insts[i].Priv = false
+			try(cand)
+		}
+		if cur.Insts[i].Safe {
+			cand := cloneProgram(cur)
+			cand.Insts[i].Safe = false
+			try(cand)
+		}
+	}
+	for ci := len(cur.InitMem) - 1; ci >= 0; ci-- {
+		cand := cloneProgram(cur)
+		cand.InitMem = append(cand.InitMem[:ci], cand.InitMem[ci+1:]...)
+		if try(cand) {
+			continue
+		}
+		cand = cloneProgram(cur)
+		for b := range cand.InitMem[ci].Data {
+			cand.InitMem[ci].Data[b] = 0
+		}
+		try(cand)
+	}
+
+	// Pass 3: compaction.
+	if compacted := compact(cur); len(compacted.Insts) < len(cur.Insts) {
+		try(compacted)
+	}
+	st.To = len(cur.Insts)
+	return cur, st
+}
+
+func allNops(insts []isa.Inst) bool {
+	for _, in := range insts {
+		if in.Op != isa.OpNop {
+			return false
+		}
+	}
+	return true
+}
+
+// compact removes nop instructions, remapping direct targets, the entry
+// point, and the handler. A target that pointed at a removed nop lands on
+// the next surviving instruction, which is equivalent because nops fall
+// through; targets past the end stay past the end (fetch off the end
+// decodes a halt). Indirect targets living in data are NOT remapped — the
+// caller verifies the compacted program through the oracle.
+func compact(p *isa.Program) *isa.Program {
+	newIdx := make([]int, len(p.Insts)+1)
+	n := 0
+	for i, in := range p.Insts {
+		newIdx[i] = n
+		if in.Op != isa.OpNop {
+			n++
+		}
+	}
+	newIdx[len(p.Insts)] = n
+	remap := func(idx int) int {
+		if idx < 0 {
+			return idx
+		}
+		if idx >= len(p.Insts) {
+			return n + (idx - len(p.Insts))
+		}
+		return newIdx[idx]
+	}
+	q := cloneProgram(p)
+	q.Insts = q.Insts[:0]
+	for _, in := range p.Insts {
+		if in.Op == isa.OpNop {
+			continue
+		}
+		if in.Op.IsBranch() {
+			in.Target = remap(in.Target)
+		}
+		q.Insts = append(q.Insts, in)
+	}
+	q.Entry = remap(p.Entry)
+	q.Handler = remap(p.Handler)
+	return q
+}

@@ -1,0 +1,152 @@
+package conform
+
+import (
+	"reflect"
+	"testing"
+
+	"invisispec/internal/isa"
+)
+
+// divsDecodeBugOracle simulates a decoder bug — every signed divide executes
+// as an unsigned divide — by running the golden interpreter on the program
+// and on a mutated copy. A candidate "diverges" when the two final
+// architectural states differ, exactly the shape of oracle the campaign
+// hands the shrinker (deterministic, rejects non-terminating candidates).
+func divsDecodeBugOracle(p *isa.Program) (bool, string) {
+	good, err := RunRef(p)
+	if err != nil {
+		return false, ""
+	}
+	mut := cloneProgram(p)
+	for i := range mut.Insts {
+		if mut.Insts[i].Op == isa.OpDivS {
+			mut.Insts[i].Op = isa.OpDiv
+		}
+	}
+	bad, err := RunRef(mut)
+	if err != nil {
+		return false, ""
+	}
+	if good.Regs != bad.Regs {
+		return true, "registers differ under divs-as-div decode"
+	}
+	for ci := range good.Mem {
+		for b := range good.Mem[ci] {
+			if good.Mem[ci][b] != bad.Mem[ci][b] {
+				return true, "memory differs under divs-as-div decode"
+			}
+		}
+	}
+	return false, ""
+}
+
+// TestShrinkerMinimizesInjectedBug is the shrinker self-test: seed the
+// oracle with an injected DivS-decodes-as-Div bug, find a generated program
+// that exposes it, and require the shrinker to cut it down to a handful of
+// instructions while preserving the divergence.
+func TestShrinkerMinimizesInjectedBug(t *testing.T) {
+	var victim *isa.Program
+	var seed uint64
+	for s := uint64(1); s <= 200; s++ {
+		p := Generate(s)
+		if ok, _ := divsDecodeBugOracle(p); ok {
+			victim, seed = p, s
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no seed in 1..200 exposes the injected DivS bug; generator lost div coverage")
+	}
+	t.Logf("seed %d exposes the injected bug at %d instructions", seed, len(victim.Insts))
+
+	min, st := Shrink(victim, divsDecodeBugOracle, 4000)
+	if ok, _ := divsDecodeBugOracle(min); !ok {
+		t.Fatal("shrinker returned a program that no longer diverges")
+	}
+	if real := nonNopCount(min); real > 12 {
+		t.Errorf("minimized reproducer has %d instructions, want <= 12:\n%s",
+			real, joinListing(min))
+	}
+	if st.Evals > 4000 {
+		t.Errorf("shrinker spent %d evals, budget 4000", st.Evals)
+	}
+	t.Logf("shrunk %d -> %d instructions in %d evals", st.From, st.To, st.Evals)
+
+	// Determinism: the same input and oracle must reproduce the identical
+	// minimized program (campaign payloads depend on it).
+	min2, st2 := Shrink(victim, divsDecodeBugOracle, 4000)
+	if !reflect.DeepEqual(min, min2) || st != st2 {
+		t.Error("shrinker is not deterministic across runs")
+	}
+}
+
+// TestShrinkBudgetRespected: a tiny budget must bound oracle evaluations and
+// still return a diverging program (the original, if nothing helped).
+func TestShrinkBudgetRespected(t *testing.T) {
+	var victim *isa.Program
+	for s := uint64(1); s <= 200; s++ {
+		if p := Generate(s); func() bool { ok, _ := divsDecodeBugOracle(p); return ok }() {
+			victim = p
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no diverging seed")
+	}
+	min, st := Shrink(victim, divsDecodeBugOracle, 5)
+	if st.Evals > 5 {
+		t.Errorf("spent %d evals, budget 5", st.Evals)
+	}
+	if ok, _ := divsDecodeBugOracle(min); !ok {
+		t.Error("budget-limited shrink returned non-diverging program")
+	}
+}
+
+// TestCompactRemapsTargets: compaction must strip nops and remap direct
+// control flow; a branch over a nop run must land on the same instruction.
+func TestCompactRemapsTargets(t *testing.T) {
+	p := &isa.Program{Name: "compact", Handler: -1, Insts: []isa.Inst{
+		{Op: isa.OpLui, Rd: 1, Imm: 1},         // 0
+		{Op: isa.OpBeq, Rs1: 1, Rs2: 1, Target: 4}, // 1: skip the nops
+		{Op: isa.OpNop},                        // 2
+		{Op: isa.OpNop},                        // 3
+		{Op: isa.OpLui, Rd: 2, Imm: 2},         // 4
+		{Op: isa.OpHalt},                       // 5
+	}}
+	q := compact(p)
+	if len(q.Insts) != 4 {
+		t.Fatalf("compacted to %d instructions, want 4", len(q.Insts))
+	}
+	if q.Insts[1].Target != 2 {
+		t.Errorf("branch target remapped to %d, want 2", q.Insts[1].Target)
+	}
+	refBefore, err := RunRef(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAfter, err := RunRef(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refBefore.Regs != refAfter.Regs {
+		t.Error("compaction changed architectural behavior")
+	}
+}
+
+func nonNopCount(p *isa.Program) int {
+	n := 0
+	for _, in := range p.Insts {
+		if in.Op != isa.OpNop {
+			n++
+		}
+	}
+	return n
+}
+
+func joinListing(p *isa.Program) string {
+	out := ""
+	for _, l := range Listing(p) {
+		out += l + "\n"
+	}
+	return out
+}

@@ -103,9 +103,13 @@ type fetchedInst struct {
 	inst       isa.Inst
 	predTaken  bool
 	predTarget int
-	hasSnap    bool
-	snap       bpred.State
-	ghr        uint64
+	// btbMiss marks the indirect jump fetch stalled on (BTB miss): fetch
+	// stops right after it, so it is always the youngest fetched
+	// instruction, and its resolution resumes fetch without a squash.
+	btbMiss bool
+	hasSnap bool
+	snap    bpred.State
+	ghr     uint64
 	// synthetic marks a defense fence injected at decode (Table V).
 	synthetic bool
 }

@@ -197,3 +197,56 @@ func TestFenceLikeClassification(t *testing.T) {
 		}
 	}
 }
+
+// TestSquashRestoresBpredFromFetchBuf regresses the RAS/GHR leak on
+// load-initiated squashes: when no squashed ROB entry carries a predictor
+// snapshot but instructions still in the fetch buffer already speculated
+// through the predictor (calls pushed the RAS), the squash must rewind to
+// the fetch buffer's oldest snapshot instead of leaving the wrong-path
+// pushes live.
+func TestSquashRestoresBpredFromFetchBuf(t *testing.T) {
+	c := newTestCore(t, config.Base)
+	// Committed history: one real call on the stack.
+	c.bp.PushRAS(42)
+	// A snapshot-less ROB entry (say, the faulting load itself).
+	c.insertEntry(fetchedInst{pc: 0, inst: isa.Inst{Op: isa.OpLoad, Rd: 1, Rs1: 2, Size: 8, Priv: true}})
+	// Fetch ran ahead: a call in the fetch buffer snapshotted the predictor
+	// and then pushed its return address, exactly as ifetchDone does.
+	snap := c.bp.Snapshot()
+	c.fetchBuf = append(c.fetchBuf, fetchedInst{
+		pc: 1, inst: isa.Inst{Op: isa.OpCall, Rd: 3, Target: 9}, hasSnap: true, snap: snap,
+	})
+	c.bp.PushRAS(2)
+	c.bp.PushRAS(777) // deeper wrong-path speculation after the snapshot
+
+	c.squashFromLogical(0, stats.SquashException, 0, true)
+
+	if got := c.bp.PopRAS(); got != 42 {
+		t.Fatalf("RAS top after squash = %d, want committed 42 (wrong-path pushes leaked)", got)
+	}
+}
+
+// TestSquashPrefersRobSnapshotOverFetchBuf: when a squashed ROB entry does
+// carry a snapshot, it is older than anything in the fetch buffer and must
+// win.
+func TestSquashPrefersRobSnapshotOverFetchBuf(t *testing.T) {
+	c := newTestCore(t, config.Base)
+	c.bp.PushRAS(42)
+	robSnap := c.bp.Snapshot()
+	c.bp.PushRAS(100) // speculation by the ROB-resident branch
+	c.insertEntry(fetchedInst{pc: 0, inst: isa.Inst{Op: isa.OpCall, Rd: 3, Target: 5},
+		predTaken: true, predTarget: 5})
+	c.robAt(0).hasSnap = true
+	c.robAt(0).snap = robSnap
+	fbSnap := c.bp.Snapshot()
+	c.fetchBuf = append(c.fetchBuf, fetchedInst{
+		pc: 5, inst: isa.Inst{Op: isa.OpCall, Rd: 4, Target: 9}, hasSnap: true, snap: fbSnap,
+	})
+	c.bp.PushRAS(6)
+
+	c.squashFromLogical(0, stats.SquashException, 0, true)
+
+	if got := c.bp.PopRAS(); got != 42 {
+		t.Fatalf("RAS top after squash = %d, want 42 from the ROB snapshot", got)
+	}
+}

@@ -8,8 +8,16 @@ import (
 // instsPerLine returns how many instructions one cache line holds.
 func (c *Core) instsPerLine() int { return c.cfg.LineSize / InstBytes }
 
-// iaddrOf returns the I-cache byte address of an instruction index.
-func iaddrOf(pc int) uint64 { return IBase + uint64(pc)*InstBytes }
+// iaddrOf returns the I-cache byte address of an instruction index. A
+// negative pc (a ret or indirect jump through a garbage register) decodes
+// as a halt like any other out-of-range pc; it is clamped so the fetch
+// request cannot wrap to a bogus address outside the instruction region.
+func iaddrOf(pc int) uint64 {
+	if pc < 0 {
+		pc = 0
+	}
+	return IBase + uint64(pc)*InstBytes
+}
 
 // fetch requests the instruction line at the current PC when the front end
 // is ready for more work.
@@ -69,7 +77,12 @@ func (c *Core) ifetchDone(r memsys.Response) {
 	}
 	c.fetchInFlight = false
 	per := c.instsPerLine()
-	lineStart := c.pc - c.pc%per
+	// Floor-align the line start: Go's % truncates toward zero, which for a
+	// negative pc would put lineStart above pc and decode nothing, wedging
+	// the front end in a refetch loop. With floor alignment a negative pc
+	// falls inside its (virtual) line and At() decodes it as a halt, matching
+	// the golden model.
+	lineStart := c.pc - ((c.pc%per)+per)%per
 	for c.pc >= lineStart && c.pc < lineStart+per {
 		in := c.prog.At(c.pc)
 		fi := fetchedInst{pc: c.pc, inst: in}
@@ -105,6 +118,7 @@ func (c *Core) ifetchDone(r memsys.Response) {
 			if !ok {
 				// BTB miss: fetch stalls until the jump resolves.
 				fi.predTarget = -1
+				fi.btbMiss = true
 				c.fetchBuf = append(c.fetchBuf, fi)
 				c.fetchStalled = true
 				return

@@ -254,7 +254,7 @@ func (c *Core) tryIssueLoad(i int, e *lqEntry) bool {
 		if !overlaps(s.addr, s.size, e.addr, e.size) {
 			continue
 		}
-		if contains(s.addr, s.size, e.addr, e.size) && s.dataReady {
+		if canForward(s.addr, s.size, e) && s.dataReady {
 			c.forwardFromStore(e, s.addr, s.size, s.data, s.seq)
 			return false
 		}
@@ -267,7 +267,7 @@ func (c *Core) tryIssueLoad(i int, e *lqEntry) bool {
 		if w.done || !overlaps(w.addr, w.size, e.addr, e.size) {
 			continue
 		}
-		if contains(w.addr, w.size, e.addr, e.size) {
+		if canForward(w.addr, w.size, e) {
 			c.forwardFromStore(e, w.addr, w.size, w.data, w.token)
 			return false
 		}
@@ -288,6 +288,20 @@ func (c *Core) tryIssueLoad(i int, e *lqEntry) bool {
 		e.reqToken = tok
 	}
 	return false
+}
+
+// canForward reports whether an older store at (saddr, ssize) may forward to
+// load e: the store must fully cover the load's bytes, and the load must sit
+// inside a single 64-byte line, because forwardFromStore records the bytes in
+// the entry's per-line SB snapshot and forward mask. Naturally aligned
+// accesses always satisfy the line condition; it is a defensive guard so a
+// straddling load (only possible through a decoder bug) stalls and drains
+// through memory instead of forwarding stale or out-of-range bytes.
+func canForward(saddr uint64, ssize uint8, e *lqEntry) bool {
+	if !contains(saddr, ssize, e.addr, e.size) {
+		return false
+	}
+	return e.addr-e.lineAddr()+uint64(e.size) <= 64
 }
 
 // storePending reports whether the store with the given seq (SQ) or token
@@ -520,7 +534,7 @@ func (c *Core) exclusiveArrived(r memsys.Response) {
 	if c.robCnt > 0 {
 		e := c.robAt(0)
 		if e.inst.Op == isa.OpRMW && e.rmwIssued && e.seq == r.Token && e.st == stWaitMem {
-			addr := e.src1Val
+			addr := isa.AlignAddr(e.src1Val, e.inst.Size)
 			old := c.mem.Read(addr, e.inst.Size)
 			c.mem.Write(addr, e.inst.Size, old+e.src2Val)
 			e.destVal = old
@@ -550,7 +564,8 @@ func (c *Core) rmwStep() {
 	if len(c.wb) != 0 {
 		return
 	}
-	req := memsys.Request{Type: memsys.ReadExcl, Core: c.id, Addr: e.src1Val, Token: e.seq}
+	req := memsys.Request{Type: memsys.ReadExcl, Core: c.id,
+		Addr: isa.AlignAddr(e.src1Val, e.inst.Size), Token: e.seq}
 	if c.hier.Submit(req) {
 		e.rmwIssued = true
 	}

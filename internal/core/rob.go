@@ -41,6 +41,7 @@ type robEntry struct {
 	// Control flow.
 	predTaken    bool
 	predTarget   int
+	btbMiss      bool // the indirect jump fetch is stalled on
 	hasSnap      bool
 	snap         bpred.State
 	resolved     bool
@@ -71,7 +72,7 @@ func needsSrc1(op isa.Op) bool {
 func needsSrc2(op isa.Op) bool {
 	switch op {
 	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl,
-		isa.OpShr, isa.OpMul, isa.OpDiv, isa.OpSlt,
+		isa.OpShr, isa.OpMul, isa.OpDiv, isa.OpDivS, isa.OpRemU, isa.OpSlt,
 		isa.OpStore, isa.OpRMW,
 		isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
 		return true
@@ -168,6 +169,7 @@ func (c *Core) insertEntry(fi fetchedInst) {
 		src2Rob:    noDep,
 		predTaken:  fi.predTaken,
 		predTarget: fi.predTarget,
+		btbMiss:    fi.btbMiss,
 		hasSnap:    fi.hasSnap,
 		snap:       fi.snap,
 		lqIdx:      -1,
@@ -265,7 +267,7 @@ func (c *Core) issue() {
 				muldivs--
 				e.st = stExecuting
 				e.execDoneAt = c.now + uint64(c.cfg.LatMul)
-			case op == isa.OpDiv:
+			case op == isa.OpDiv || op == isa.OpDivS || op == isa.OpRemU:
 				if muldivs == 0 {
 					goto trackFences
 				}
@@ -349,12 +351,15 @@ func (c *Core) completeExec() {
 			}
 		case op == isa.OpLoad || op == isa.OpPrefetch:
 			lq := &c.lq[e.lqIdx]
-			lq.addr = e.src1Val + uint64(e.inst.Imm)
+			// Natural alignment mirrors the golden interpreter: the LSQ
+			// forwarding masks and the speculative buffer track data within
+			// one 64-byte line, which aligned accesses never straddle.
+			lq.addr = isa.AlignAddr(e.src1Val+uint64(e.inst.Imm), lq.size)
 			lq.addrReady = true
 			e.st = stWaitMem
 		case op == isa.OpStore:
 			sq := &c.sq[e.sqIdx]
-			sq.addr = e.src1Val + uint64(e.inst.Imm)
+			sq.addr = isa.AlignAddr(e.src1Val+uint64(e.inst.Imm), sq.size)
 			sq.addrReady = true
 			sq.data = e.src2Val
 			sq.dataReady = true
@@ -402,9 +407,14 @@ func (c *Core) resolveBranch(logical int, e *robEntry) bool {
 	}
 	e.st = stCompleted
 
-	if c.fetchStalled && c.isYoungestControl(logical) {
-		// Fetch was stalled on this branch's unknown target (BTB miss):
-		// resume down the resolved path; nothing younger was fetched.
+	if c.fetchStalled && e.btbMiss {
+		// This is the exact instruction fetch is stalled on (BTB miss), by
+		// construction the youngest ever fetched: resume down the resolved
+		// path; nothing younger exists to squash. An OLDER branch resolving
+		// during the stall must not take this path — the stalled jump may
+		// still be in the fetch buffer (not yet in the ROB), and wrong-path
+		// instructions between the two would survive an un-squashed
+		// redirect.
 		c.fetchStalled = false
 		c.pc = next
 		return false
@@ -431,18 +441,6 @@ func (c *Core) resolveBranch(logical int, e *robEntry) bool {
 		c.bp.PopRAS()
 	}
 	c.squashFromLogical(logical+1, stats.SquashBranch, next, false)
-	return true
-}
-
-// isYoungestControl reports whether no control-flow instruction younger than
-// logical position i exists (used for BTB-miss fetch stalls, where the
-// stalled branch is by construction the youngest).
-func (c *Core) isYoungestControl(i int) bool {
-	for j := i + 1; j < c.robCnt; j++ {
-		if c.robAt(j).inst.Op.IsBranch() {
-			return false
-		}
-	}
 	return true
 }
 

@@ -23,10 +23,28 @@ func (c *Core) squashFromLogical(L int, reason stats.SquashReason, redirect int,
 		Flushed: flushed, Redirect: redirect,
 	}
 	if restoreBpred {
+		restored := false
 		for i := L; i < c.robCnt; i++ {
 			if e := c.robAt(i); e.hasSnap {
 				c.bp.Restore(e.snap)
+				restored = true
 				break
+			}
+		}
+		if !restored {
+			// No squashed ROB entry carries a snapshot, but instructions
+			// still in the fetch buffer (all younger than the whole ROB, and
+			// about to be discarded below) may already have speculated
+			// through the predictor — calls pushed the RAS, ret/cond
+			// predictions shifted the GHR. Rewind to the oldest such
+			// snapshot, or stale entries survive the squash: a deep
+			// CALL-nest squashed this way leaves rasTop wrapped into
+			// garbage and every return after re-fetch mispredicts.
+			for _, fi := range c.fetchBuf {
+				if fi.hasSnap {
+					c.bp.Restore(fi.snap)
+					break
+				}
 			}
 		}
 	}

@@ -131,6 +131,17 @@ func (b *Builder) Div(rd, rs1, rs2 uint8) *Builder {
 	return b.emit(Inst{Op: OpDiv, Rd: rd, Rs1: rs1, Rs2: rs2})
 }
 
+// DivS emits rd = rs1 / rs2 signed (all-ones on divide by zero; MinInt64/-1
+// wraps to MinInt64).
+func (b *Builder) DivS(rd, rs1, rs2 uint8) *Builder {
+	return b.emit(Inst{Op: OpDivS, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// RemU emits rd = rs1 % rs2 unsigned (the dividend on remainder by zero).
+func (b *Builder) RemU(rd, rs1, rs2 uint8) *Builder {
+	return b.emit(Inst{Op: OpRemU, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
 // Slt emits rd = (rs1 < rs2) ? 1 : 0 (unsigned).
 func (b *Builder) Slt(rd, rs1, rs2 uint8) *Builder {
 	return b.emit(Inst{Op: OpSlt, Rd: rd, Rs1: rs1, Rs2: rs2})

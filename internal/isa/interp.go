@@ -59,13 +59,13 @@ func (it *Interp) Step() bool {
 			it.Halted = true
 			return false
 		}
-		addr := it.Regs[in.Rs1] + uint64(in.Imm)
+		addr := AlignAddr(it.Regs[in.Rs1]+uint64(in.Imm), in.Size)
 		it.Regs[in.Rd] = it.Mem.Read(addr, in.Size)
 	case in.Op == OpStore:
-		addr := it.Regs[in.Rs1] + uint64(in.Imm)
+		addr := AlignAddr(it.Regs[in.Rs1]+uint64(in.Imm), in.Size)
 		it.Mem.Write(addr, in.Size, it.Regs[in.Rs2])
 	case in.Op == OpRMW:
-		addr := it.Regs[in.Rs1]
+		addr := AlignAddr(it.Regs[in.Rs1], in.Size)
 		old := it.Mem.Read(addr, in.Size)
 		it.Mem.Write(addr, in.Size, old+it.Regs[in.Rs2])
 		it.Regs[in.Rd] = old

@@ -33,7 +33,13 @@ const (
 	OpShl
 	OpShr
 	OpMul
-	OpDiv // divide by zero yields all-ones, as on many real ISAs' remainder path
+	OpDiv // unsigned divide; divide by zero yields all-ones (RISC-V DIVU)
+	// OpDivS is signed divide with RISC-V edge semantics: divide by zero
+	// yields all-ones; MinInt64 / -1 wraps to MinInt64 (no trap).
+	OpDivS
+	// OpRemU is unsigned remainder; remainder by zero yields the dividend
+	// (RISC-V REMU).
+	OpRemU
 	OpSlt // set-less-than (unsigned): Rd = (Rs1 < Rs2) ? 1 : 0
 	// ALU register-immediate: Rd = Rs1 <op> Imm.
 	OpAddI
@@ -42,7 +48,8 @@ const (
 	OpShrI
 	// OpLui loads a 64-bit immediate: Rd = Imm.
 	OpLui
-	// Memory. Address = Rs1 + Imm. Size gives the access width in bytes.
+	// Memory. Effective address = AlignAddr(Rs1 + Imm, Size); accesses are
+	// naturally aligned by construction. Size gives the width in bytes.
 	OpLoad  // Rd = Mem[Rs1+Imm]
 	OpStore // Mem[Rs1+Imm] = Rs2
 	// Control flow. Direct targets are instruction indices resolved from labels.
@@ -75,10 +82,14 @@ const (
 	numOps
 )
 
+// NumOps is the number of defined opcodes (exported for exhaustive tables in
+// tests and the conformance generator).
+const NumOps = int(numOps)
+
 var opNames = [numOps]string{
 	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or",
 	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpMul: "mul", OpDiv: "div",
-	OpSlt: "slt", OpAddI: "addi", OpAndI: "andi", OpShlI: "shli",
+	OpDivS: "divs", OpRemU: "remu", OpSlt: "slt", OpAddI: "addi", OpAndI: "andi", OpShlI: "shli",
 	OpShrI: "shri", OpLui: "lui", OpLoad: "ld", OpStore: "st",
 	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge", OpJmp: "jmp",
 	OpJmpI: "jmpi", OpCall: "call", OpRet: "ret", OpFence: "fence",
@@ -98,7 +109,7 @@ func (o Op) String() string {
 func (o Op) IsALU() bool {
 	switch o {
 	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpDiv,
-		OpSlt, OpAddI, OpAndI, OpShlI, OpShrI, OpLui, OpNop:
+		OpDivS, OpRemU, OpSlt, OpAddI, OpAndI, OpShlI, OpShrI, OpLui, OpNop:
 		return true
 	}
 	return false
@@ -151,8 +162,8 @@ func (o Op) IsFence() bool {
 func (o Op) HasDest() bool {
 	switch o {
 	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpDiv,
-		OpSlt, OpAddI, OpAndI, OpShlI, OpShrI, OpLui, OpLoad, OpCall, OpRMW,
-		OpCycle:
+		OpDivS, OpRemU, OpSlt, OpAddI, OpAndI, OpShlI, OpShrI, OpLui, OpLoad,
+		OpCall, OpRMW, OpCycle:
 		return true
 	}
 	return false
@@ -237,6 +248,18 @@ func EvalALU(op Op, a, b uint64, imm int64) uint64 {
 			return ^uint64(0)
 		}
 		return a / b
+	case OpDivS:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		// Go defines MinInt64 / -1 to wrap to MinInt64 for non-constant
+		// operands, matching RISC-V's overflow rule, so no special case.
+		return uint64(int64(a) / int64(b))
+	case OpRemU:
+		if b == 0 {
+			return a
+		}
+		return a % b
 	case OpSlt:
 		if a < b {
 			return 1
@@ -256,6 +279,19 @@ func EvalALU(op Op, a, b uint64, imm int64) uint64 {
 		return 0
 	}
 	panic(fmt.Sprintf("isa: EvalALU on non-ALU op %v", op))
+}
+
+// AlignAddr aligns a computed memory address down to the access width's
+// natural boundary. The ISA defines every 1/2/4/8-byte access as naturally
+// aligned: hardware that tracks data at cache-line granularity (the LSQ's
+// forwarding masks, the speculative buffer's 64-byte lines) relies on no
+// access straddling a line, and the golden interpreter applies the same
+// masking so both sides compute identical effective addresses.
+func AlignAddr(addr uint64, size uint8) uint64 {
+	if size == 0 {
+		return addr
+	}
+	return addr &^ (uint64(size) - 1)
 }
 
 // BranchTaken evaluates a conditional branch's outcome over operand values.

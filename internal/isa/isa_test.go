@@ -401,3 +401,123 @@ func TestBuilderExtendedOps(t *testing.T) {
 		}
 	}
 }
+
+// TestALUEdgeSemantics pins the agreed divide/multiply/shift edge cases.
+// EvalALU is shared by the interpreter and the core's exec unit, so these
+// rows define the architecture for both sides (RISC-V M-extension rules:
+// divide by zero yields all-ones for quotients and the dividend for
+// remainders; signed MinInt64 / -1 wraps; multiplies and shifts wrap
+// modulo 2^64 with shift counts masked to 6 bits).
+func TestALUEdgeSemantics(t *testing.T) {
+	const minI64 = uint64(1) << 63 // math.MinInt64 as a bit pattern
+	cases := []struct {
+		name string
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{"div-by-zero", OpDiv, 7, 0, ^uint64(0)},
+		{"div-zero-by-zero", OpDiv, 0, 0, ^uint64(0)},
+		{"div-basic", OpDiv, 100, 7, 14},
+		{"divs-by-zero", OpDivS, 7, 0, ^uint64(0)},
+		{"divs-neg-by-zero", OpDivS, negU64(7), 0, ^uint64(0)},
+		{"divs-overflow-wraps", OpDivS, minI64, ^uint64(0), minI64},
+		{"divs-basic-neg", OpDivS, negU64(100), 7, negU64(14)},
+		{"divs-neg-divisor", OpDivS, 100, negU64(7), negU64(14)},
+		{"remu-by-zero-yields-dividend", OpRemU, 12345, 0, 12345},
+		{"remu-basic", OpRemU, 100, 7, 2},
+		{"remu-max", OpRemU, ^uint64(0), minI64, minI64 - 1},
+		{"mul-wraps", OpMul, minI64, 2, 0},
+		{"mul-neg-identity", OpMul, ^uint64(0), ^uint64(0), 1},
+		{"shl-count-masked", OpShl, 1, 64, 1},
+		{"shl-count-63", OpShl, 1, 63, minI64},
+		{"shr-count-masked", OpShr, minI64, 65, minI64 >> 1},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b, 0); got != c.want {
+			t.Errorf("%s: EvalALU(%v, %#x, %#x) = %#x, want %#x",
+				c.name, c.op, c.a, c.b, got, c.want)
+		}
+	}
+	// The same rows must hold end-to-end through the interpreter, which
+	// proves the golden model routes these ops through EvalALU.
+	for _, c := range cases {
+		p := NewBuilder("edge").
+			Li(1, c.a).
+			Li(2, c.b).
+			MustBuild()
+		p.Insts = append(p.Insts, Inst{Op: c.op, Rd: 3, Rs1: 1, Rs2: 2}, Inst{Op: OpHalt})
+		it := NewInterp(p)
+		if err := it.Run(10); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if it.Regs[3] != c.want {
+			t.Errorf("%s: interp got %#x, want %#x", c.name, it.Regs[3], c.want)
+		}
+	}
+}
+
+// TestAlignAddr pins the natural-alignment rule shared by the interpreter
+// and the core's address generation.
+func TestAlignAddr(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		size uint8
+		want uint64
+	}{
+		{0x1003, 1, 0x1003},
+		{0x1003, 2, 0x1002},
+		{0x1003, 4, 0x1000},
+		{0x1007, 8, 0x1000},
+		{0x1038, 8, 0x1038}, // already aligned
+		{0x103f, 8, 0x1038}, // would straddle a line unaligned
+		{0x1040, 4, 0x1040},
+		{0xffffffffffffffff, 8, 0xfffffffffffffff8},
+		{0x55, 0, 0x55}, // size-0 (prefetch-style Inst) passes through
+	}
+	for _, c := range cases {
+		if got := AlignAddr(c.addr, c.size); got != c.want {
+			t.Errorf("AlignAddr(%#x, %d) = %#x, want %#x", c.addr, c.size, got, c.want)
+		}
+	}
+	// Aligned accesses never straddle a 64-byte line: the LSQ forwarding
+	// masks and the speculative buffer rely on this.
+	for size := uint8(1); size <= 8; size *= 2 {
+		for addr := uint64(0); addr < 256; addr++ {
+			a := AlignAddr(addr, size)
+			if a/64 != (a+uint64(size)-1)/64 {
+				t.Fatalf("AlignAddr(%#x, %d) = %#x straddles a line", addr, size, a)
+			}
+		}
+	}
+}
+
+// TestInterpAppliesAlignment checks loads, stores, and RMWs all mask their
+// effective address identically.
+func TestInterpAppliesAlignment(t *testing.T) {
+	p := NewBuilder("align").
+		Li(1, 0x1000).
+		Li(2, 0x1122334455667788).
+		MustBuild()
+	p.Insts = append(p.Insts,
+		Inst{Op: OpStore, Rs1: 1, Rs2: 2, Imm: 5, Size: 8},  // st.8 -> 0x1000
+		Inst{Op: OpLoad, Rd: 3, Rs1: 1, Imm: 3, Size: 8},    // ld.8 <- 0x1000
+		Inst{Op: OpLoad, Rd: 4, Rs1: 1, Imm: 6, Size: 4},    // ld.4 <- 0x1004
+		Inst{Op: OpRMW, Rd: 5, Rs1: 1, Rs2: 0, Size: 8},     // rmw @0x1000 (aligned)
+		Inst{Op: OpHalt})
+	it := NewInterp(p)
+	if err := it.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[3] != 0x1122334455667788 {
+		t.Errorf("aligned ld.8 got %#x", it.Regs[3])
+	}
+	if it.Regs[4] != 0x11223344 {
+		t.Errorf("aligned ld.4 got %#x", it.Regs[4])
+	}
+	if it.Regs[5] != 0x1122334455667788 {
+		t.Errorf("rmw old value got %#x", it.Regs[5])
+	}
+}
+
+func negU64(v uint64) uint64 { return -v }
