@@ -9,7 +9,7 @@ GO ?= go
 JOBS ?= 4
 SMOKE_FLAGS = -fig 4 -warmup 5000 -measure 20000 -jobs $(JOBS) -quiet
 
-.PHONY: all build test vet race check ci bench smoke benchdiff baseline leakscan kernelcheck conform
+.PHONY: all build test vet race check ci bench smoke benchdiff baseline leakscan kernelcheck conform chaos
 
 all: build
 
@@ -31,7 +31,15 @@ check: build vet race
 
 # What CI invokes; kept separate from `check` so CI-only steps can be
 # attached without changing the local gate.
-ci: check kernelcheck leakscan conform
+ci: check kernelcheck chaos leakscan conform
+
+# Resilience gate: the seeded chaos self-tests kill journaled bench,
+# leakage, and conformance campaigns at randomized checkpoint appends
+# (torn tail included), inject transient faults, resume, and assert the
+# final deterministic payload is byte-identical to an uninterrupted run
+# at 1 and 4 workers.
+chaos:
+	$(GO) test -run 'TestChaos' -count=1 ./internal/campaign ./internal/leakage ./internal/conform
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -20,13 +20,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
+	"invisispec/internal/artifact"
+	"invisispec/internal/campaign"
 	"invisispec/internal/config"
 	"invisispec/internal/engine"
 	"invisispec/internal/harness"
@@ -50,6 +54,10 @@ var (
 	bjHost  = flag.Bool("benchhost", true, "include the host wall-time block in -benchjson output (disable for committed baselines)")
 	cmpK    = flag.Bool("comparekernels", false, "re-run the matrix under the cycle-by-cycle stepped kernel, fail unless its results are byte-identical to the fast kernel's, and record both wall times in the -benchjson host block")
 	quiet   = flag.Bool("quiet", false, "suppress per-job progress lines on stderr")
+
+	// campaignFlags registers the uniform -journal/-resume/-retries/-isolate
+	// resilience flags (internal/campaign).
+	campaignFlags = campaign.AddFlags(flag.CommandLine)
 
 	csvW *csv.Writer
 )
@@ -118,8 +126,17 @@ func csvRow(jr runner.JobResult) {
 }
 
 func main() {
+	if code, served := campaign.WorkerMain(os.Args, func(ctx context.Context, name string, spec json.RawMessage) (any, error) {
+		s, err := campaign.DecodeSpec[campaign.JobSpec](spec)
+		if err != nil {
+			return nil, err
+		}
+		return campaign.RunJobSpec(ctx, s)
+	}); served {
+		os.Exit(code)
+	}
 	flag.Parse()
-	defer csvOpen()()
+	csvClose = csvOpen()
 	switch {
 	case *figure == 4:
 		execTimeFigure(false)
@@ -137,32 +154,84 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchtable: pick one of -fig 4|6|7|8 or -table 6|7")
 		os.Exit(2)
 	}
+	csvClose()
 }
 
-// runMatrix shards the jobs across the pool, records every measurement in
-// the CSV and bench-JSON sinks, and exits on the first (matrix-order) error.
-func runMatrix(jobs []runner.Job, artifact string) []runner.JobResult {
-	opts := runner.Options{Jobs: *jobsN}
+// csvClose flushes the CSV sink; set by main, also invoked by the degraded
+// exit path so a sweep that completes with failed cells still lands its CSV.
+var csvClose = func() {}
+
+// reproFor builds the ready-to-run command reproducing one degraded cell.
+func reproFor(name string, j runner.Job) string {
+	var sel string
+	switch {
+	case strings.HasPrefix(name, "fig"):
+		sel = "-fig " + strings.TrimPrefix(name, "fig")
+	case strings.HasPrefix(name, "table"):
+		sel = "-table " + strings.TrimPrefix(name, "table")
+	default:
+		sel = "-fig 4"
+	}
+	cmd := fmt.Sprintf("go run ./cmd/benchtable %s -names %s -warmup %d -measure %d -jobs 1",
+		sel, j.Workload, j.Warmup, j.Measure)
+	if j.FaultSeed != 0 {
+		cmd += fmt.Sprintf(" -faultseeds %d", j.FaultSeed)
+	}
+	return cmd
+}
+
+// runMatrix shards the jobs across the campaign layer (checkpoint journal,
+// typed retries, optional isolation — see the -journal/-resume/-retries/
+// -isolate flags), records every measurement in the CSV and bench-JSON
+// sinks, and degrades gracefully: cells that fail permanently land in the
+// artifact's degraded block with a repro command and the sweep exits
+// non-zero after writing everything, instead of aborting on first error.
+func runMatrix(jobs []runner.Job, name string) []runner.JobResult {
+	copts := campaignFlags()
+	copts.Workers = *jobsN
 	if !*quiet {
-		opts.Progress = os.Stderr
+		copts.Progress = os.Stderr
 	}
 	start := time.Now()
-	results := runner.Run(context.Background(), jobs, opts)
-	wall := time.Since(start)
-	if err := runner.FirstError(results); err != nil {
+	outcomes, err := campaign.Run(context.Background(), "benchtable-"+name,
+		campaign.JobCells(jobs, engine.KernelFast, 0), copts)
+	if err != nil {
 		fail(err)
 	}
+	results, err := campaign.JobResults(jobs, outcomes)
+	if err != nil {
+		fail(err)
+	}
+	wall := time.Since(start)
+	degraded := campaign.Degraded(outcomes, func(o campaign.Outcome) string {
+		return reproFor(name, jobs[o.Index])
+	})
 	for _, r := range results {
-		csvRow(r)
+		if r.Err == nil {
+			csvRow(r)
+		}
 	}
 	var kernelWall map[string]time.Duration
 	if *cmpK {
+		if len(degraded) > 0 {
+			fail(fmt.Errorf("-comparekernels: %d cell(s) degraded, cannot certify kernel equivalence", len(degraded)))
+		}
+		opts := runner.Options{Jobs: *jobsN}
+		if !*quiet {
+			opts.Progress = os.Stderr
+		}
 		kernelWall = compareKernels(jobs, results, wall, opts)
 	}
-	writeBenchJSON(results, artifact, wall, kernelWall)
+	writeBenchJSON(results, name, degraded, wall, kernelWall)
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "runner: %d jobs in %s at -jobs %d\n",
 			len(jobs), wall.Round(time.Millisecond), *jobsN)
+	}
+	if campaign.PrintDegraded(os.Stderr, "benchtable", degraded) {
+		// The artifact and CSV are complete (minus the degraded cells);
+		// the human-readable tables would just divide by missing baselines.
+		csvClose()
+		os.Exit(1)
 	}
 	return results
 }
@@ -207,30 +276,25 @@ func compareKernels(jobs []runner.Job, fast []runner.JobResult, fastWall time.Du
 }
 
 // writeBenchJSON emits the -benchjson artifact, if requested.
-func writeBenchJSON(results []runner.JobResult, artifact string, wall time.Duration, kernelWall map[string]time.Duration) {
+func writeBenchJSON(results []runner.JobResult, name string, degraded []artifact.DegradedCell, wall time.Duration, kernelWall map[string]time.Duration) {
 	if *bjPath == "" {
 		return
 	}
 	if *bjName != "" {
-		artifact = *bjName
+		name = *bjName
 	}
-	b := runner.NewBench(artifact, *warmup, *measure, results)
+	b := runner.NewBench(name, *warmup, *measure, results)
+	b.Degraded = degraded
 	if *bjHost {
 		b.WithHost(wall, *jobsN, results)
 		for k, w := range kernelWall {
 			b.WithKernelWall(k, w)
 		}
 	}
-	f, err := os.Create(*bjPath)
-	if err != nil {
+	if err := artifact.Write(*bjPath, func(w io.Writer) error {
+		return runner.WriteBenchJSON(w, b)
+	}); err != nil {
 		fail(err)
-	}
-	if err := runner.WriteBenchJSON(f, b); err != nil {
-		f.Close()
-		fail(err)
-	}
-	if err := f.Close(); err != nil {
-		fail(fmt.Errorf("closing %s: %w", *bjPath, err))
 	}
 }
 

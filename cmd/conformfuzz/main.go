@@ -4,16 +4,27 @@
 // final architectural state compared byte for byte. Diverging programs are
 // optionally auto-shrunk to minimized reproducers.
 //
-// Exit status: 0 when every program conforms, 1 when any program diverged
-// or errored, 2 on usage or I/O failure.
+// The campaign runs on the resilient execution layer (internal/campaign):
+// -journal checkpoints every finished program, -resume skips programs a
+// previous (possibly killed) run already finished and replays their results
+// byte-identically, -retries re-runs transient failures, and -isolate
+// shards programs into kill-on-hang child worker processes (the same binary
+// re-exec'd in -cellworker mode).
+//
+// Exit status: 0 when every program conforms, 1 when any program diverged,
+// errored, or degraded, 2 on usage or I/O failure.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"invisispec/internal/artifact"
+	"invisispec/internal/campaign"
 	"invisispec/internal/conform"
 )
 
@@ -22,18 +33,34 @@ func main() {
 }
 
 func run() int {
+	if code, served := campaign.WorkerMain(os.Args, func(ctx context.Context, name string, spec json.RawMessage) (any, error) {
+		s, err := campaign.DecodeSpec[conform.ProgSpec](spec)
+		if err != nil {
+			return nil, err
+		}
+		return conform.RunProgSpec(ctx, s)
+	}); served {
+		return code
+	}
+
 	var (
 		seed    = flag.Uint64("seed", 1, "campaign seed; program i uses Mix(seed, i)")
 		n       = flag.Int("n", 200, "number of programs")
+		only    = flag.Int("only", -1, "check a single program index (repro mode; -1 = all)")
 		jobs    = flag.Int("jobs", 0, "worker count (0: GOMAXPROCS)")
 		shrink  = flag.Bool("shrink", false, "minimize diverging programs and emit reproducers")
 		evals   = flag.Int("shrink-evals", 2000, "oracle budget per shrink")
 		jsonOut = flag.String("json", "", "write the full report artifact to this file")
 		quiet   = flag.Bool("q", false, "suppress per-program progress")
 	)
+	copts := campaign.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *n <= 0 {
 		fmt.Fprintln(os.Stderr, "conformfuzz: -n must be positive")
+		return 2
+	}
+	if *only >= *n {
+		fmt.Fprintf(os.Stderr, "conformfuzz: -only %d out of range (n=%d)\n", *only, *n)
 		return 2
 	}
 
@@ -43,24 +70,25 @@ func run() int {
 		Jobs:           *jobs,
 		Shrink:         *shrink,
 		MaxShrinkEvals: *evals,
+		Campaign:       copts(),
+	}
+	if *only >= 0 {
+		opts.Indices = []int{*only}
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
-	rep := conform.Campaign(context.Background(), opts)
+	rep, err := conform.Campaign(context.Background(), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conformfuzz: %v\n", err)
+		return 2
+	}
 
 	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
+		if err := artifact.Write(*jsonOut, func(w io.Writer) error {
+			return conform.WriteReportJSON(w, rep)
+		}); err != nil {
 			fmt.Fprintf(os.Stderr, "conformfuzz: %v\n", err)
-			return 2
-		}
-		werr := conform.WriteReportJSON(f, rep)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			fmt.Fprintf(os.Stderr, "conformfuzz: %v\n", werr)
 			return 2
 		}
 	}
@@ -83,9 +111,10 @@ func run() int {
 			fmt.Println("--- end reproducer ---")
 		}
 	}
+	degraded := campaign.PrintDegraded(os.Stderr, "conformfuzz", rep.Degraded)
 	fmt.Printf("conformfuzz: %d programs × %d configs, %d diverging, %d errors (seed %d)\n",
 		rep.Programs, len(rep.Configs), rep.Diverging, rep.Errors, rep.Seed)
-	if rep.Diverging > 0 || rep.Errors > 0 {
+	if rep.Diverging > 0 || rep.Errors > 0 || degraded {
 		return 1
 	}
 	return 0

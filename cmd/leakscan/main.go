@@ -11,6 +11,13 @@
 //	-corpus smoke  the fixed six-variant CI corpus (default)
 //	-corpus fuzz   -n variants generated deterministically from -seed
 //
+// The scan runs on the resilient execution layer (internal/campaign):
+// -journal checkpoints every finished trial, -resume skips trials a
+// previous (possibly killed) run already finished and replays their
+// latencies byte-identically, -retries re-runs transient failures, and
+// -isolate shards trials into kill-on-hang child worker processes (the
+// same binary re-exec'd in -cellworker mode).
+//
 // The report's deterministic payload is byte-identical at any -jobs
 // width; host facts (wall time, worker count) are quarantined in the
 // optional host block (-host).
@@ -18,16 +25,30 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
+	"invisispec/internal/artifact"
+	"invisispec/internal/campaign"
 	"invisispec/internal/leakage"
 )
 
 func main() {
+	if code, served := campaign.WorkerMain(os.Args, func(ctx context.Context, name string, spec json.RawMessage) (any, error) {
+		s, err := campaign.DecodeSpec[leakage.TrialSpec](spec)
+		if err != nil {
+			return nil, err
+		}
+		return leakage.RunTrialSpec(ctx, s)
+	}); served {
+		os.Exit(code)
+	}
+
 	var (
 		corpus   = flag.String("corpus", "smoke", "attack corpus: smoke or fuzz")
 		seed     = flag.Int64("seed", 1, "fuzz corpus seed (-corpus fuzz)")
@@ -40,6 +61,7 @@ func main() {
 		host     = flag.Bool("host", false, "include the nondeterministic host block in the JSON artifact")
 		verbose  = flag.Bool("v", false, "print per-cell progress lines to stderr")
 	)
+	copts := campaign.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	var specs []leakage.AttackSpec
@@ -58,10 +80,20 @@ func main() {
 	}
 
 	opts := leakage.ScanOptions{
-		Trials:  *trials,
-		Jobs:    *jobs,
-		Timeout: *timeout,
-		Name:    reportName,
+		Trials:   *trials,
+		Jobs:     *jobs,
+		Timeout:  *timeout,
+		Name:     reportName,
+		Campaign: copts(),
+		Repro: func(ts leakage.TrialSpec) string {
+			// One scan of just the failing attack reproduces all its trials
+			// (the per-trial fault seeds derive from the cell identity, not
+			// from which trials ran).
+			if *corpus == "fuzz" {
+				return fmt.Sprintf("go run ./cmd/leakscan -corpus fuzz -seed %d -n %d -trials %d -v", *seed, *n, *trials)
+			}
+			return fmt.Sprintf("go run ./cmd/leakscan -corpus smoke -trials %d -v", *trials)
+		},
 	}
 	if *verbose {
 		opts.Progress = os.Stderr
@@ -90,23 +122,16 @@ func main() {
 	rep.WriteTable(os.Stdout)
 
 	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "leakscan:", err)
-			os.Exit(2)
-		}
-		if err := leakage.WriteJSON(f, rep); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, "leakscan:", err)
-			os.Exit(2)
-		}
-		if err := f.Close(); err != nil {
+		if err := artifact.Write(*jsonPath, func(w io.Writer) error {
+			return leakage.WriteJSON(w, rep)
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "leakscan:", err)
 			os.Exit(2)
 		}
 		fmt.Printf("\nreport written to %s\n", *jsonPath)
 	}
 
+	degraded := campaign.PrintDegraded(os.Stderr, "leakscan", rep.Degraded)
 	if v := rep.Violations(); len(v) > 0 {
 		fmt.Fprintf(os.Stderr, "\nleakscan: %d VIOLATION(S):\n", len(v))
 		for _, c := range v {
@@ -118,6 +143,9 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "  %s under %s: %s\n", c.Attack, c.Defense, detail)
 		}
+		os.Exit(1)
+	}
+	if degraded {
 		os.Exit(1)
 	}
 	fmt.Println("\nleakscan: PASS — every defense blocks what it claims to block, every expected leak observed")

@@ -1,0 +1,48 @@
+package artifact
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"ok":true}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"ok":true}` {
+		t.Fatalf("artifact content %q", data)
+	}
+}
+
+func TestWriteSurfacesCreateError(t *testing.T) {
+	err := Write(filepath.Join(t.TempDir(), "no-such-dir", "out.json"), func(w io.Writer) error {
+		t.Error("write callback ran despite create failure")
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "creating artifact") {
+		t.Fatalf("create failure not surfaced: %v", err)
+	}
+}
+
+func TestWriteSurfacesCallbackError(t *testing.T) {
+	boom := errors.New("encoder exploded")
+	path := filepath.Join(t.TempDir(), "out.json")
+	err := Write(path, func(w io.Writer) error { return boom })
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "writing artifact") {
+		t.Fatalf("callback failure not surfaced: %v", err)
+	}
+	// The truncated file may exist, but the non-nil error is what forces the
+	// CLI's non-zero exit — CI must never trust the artifact on error.
+}

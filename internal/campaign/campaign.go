@@ -1,0 +1,401 @@
+// Package campaign is the resilient execution layer over the internal/runner
+// task pool: it runs a matrix of deterministic cells with (1) an append-only
+// JSONL checkpoint journal keyed by a content hash of each cell's identity,
+// so a killed campaign resumes by skipping finished cells and produces a
+// final artifact byte-identical to an uninterrupted run at any worker count;
+// (2) a typed retry policy — transient host-side failures (subprocess crash,
+// wall-clock timeout, fault-seeded I/O) re-run under capped exponential
+// backoff with deterministic seeded jitter, while deterministic simulator
+// outcomes (budget exhaustion, deadlock, divergence) fail fast; (3) an
+// opt-in subprocess isolation mode that shards cells into kill-on-hang child
+// worker processes, so a wedged or OOMed cell cannot take down the campaign;
+// and (4) graceful degradation — cells that fail permanently are recorded in
+// the artifact's degraded block with a ready-to-run repro command instead of
+// aborting the campaign.
+//
+// Byte-identity across interruption is the design invariant everything hangs
+// off: a cell's value is marshaled to canonical JSON exactly once, at the
+// moment it completes, and both the journal and the caller see those same
+// bytes — so resumed, re-sharded, and uninterrupted campaigns cannot drift.
+// The seeded chaos harness (ChaosOptions, `make chaos`) proves it by killing
+// campaigns at randomized journal appends and asserting resume-to-identity.
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"time"
+
+	"invisispec/internal/artifact"
+	"invisispec/internal/runner"
+)
+
+// Cell is one unit of campaign work.
+type Cell struct {
+	// Name labels the cell in journals, progress lines, and degraded blocks.
+	Name string
+	// Spec is the cell's JSON-serializable identity: everything that
+	// determines its deterministic output (workload, defense, consistency,
+	// seed, budget, kernel, ...). Its canonical JSON is content-hashed into
+	// the journal key, and in isolation mode it is shipped to the worker
+	// process, which must be able to reconstruct the work from it alone.
+	Spec any
+	// Timeout bounds each attempt's host wall-clock time (0 = Options.CellTimeout).
+	Timeout time.Duration
+	// Run does the work in-process. The returned value must marshal to JSON;
+	// those bytes are what the journal and the caller both see.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Outcome is one cell's terminal result.
+type Outcome struct {
+	Index    int
+	Name     string
+	Key      string          // content hash of the cell's Spec
+	Value    json.RawMessage // canonical JSON of the cell's value; nil when Err != nil
+	Err      error           // terminal failure (degraded or cancelled cell)
+	Class    Class           // Err's classification (ClassNone on success)
+	Attempts int             // how many times the cell ran (0 if never started)
+	// FromJournal marks a cell skipped because a prior run already
+	// journaled its terminal outcome.
+	FromJournal bool
+	// HostNS is host wall-clock spent on the cell this run (0 for journaled
+	// cells) — nondeterministic, for host blocks only.
+	HostNS int64
+}
+
+// ChaosOptions is the seeded chaos harness: deterministic fault injection
+// and kill points for the kill/resume self-tests (`make chaos`) and the CI
+// chaos job. Zero value = no chaos.
+type ChaosOptions struct {
+	// Seed drives fault-site selection deterministically.
+	Seed int64
+	// KillAtAppend tears the Nth journal append mid-write and aborts the
+	// campaign with ErrKilled, simulating a SIGKILL (0 = off).
+	KillAtAppend int
+	// FaultEveryN injects one transient failure into the first attempt of
+	// every cell whose seeded hash lands on 0 mod N, exercising the retry
+	// path under chaos (0 = off).
+	FaultEveryN int
+}
+
+// Options tunes a campaign run.
+type Options struct {
+	// Workers is the pool width (<=0: GOMAXPROCS, capped at the cell count).
+	Workers int
+	// Retries is how many times a transient failure re-runs after its first
+	// attempt. Deterministic failures are never retried regardless.
+	Retries int
+	// BackoffBase is the first retry's delay (default 100ms); each further
+	// retry doubles it, capped at BackoffMax (default 5s). A deterministic
+	// jitter in [0, delay/2) derived from (Seed, cell key, attempt) is
+	// added so a herd of retrying cells decorrelates reproducibly.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed feeds the retry jitter (and nothing else): any value is fine,
+	// the same value reproduces the same schedule.
+	Seed int64
+	// CellTimeout bounds each attempt of cells that don't set their own.
+	CellTimeout time.Duration
+	// Journal is the checkpoint path ("" = no checkpointing). Without
+	// Resume an existing file is truncated; with Resume its terminal cells
+	// are skipped and their journaled values replayed byte-identically.
+	Journal string
+	Resume  bool
+	// Isolate, when non-nil, runs every attempt in a child worker process
+	// with kill-on-hang semantics (see IsolateOptions).
+	Isolate *IsolateOptions
+	// Progress receives the pool's per-cell progress lines.
+	Progress io.Writer
+	// Chaos enables the seeded kill/fault harness.
+	Chaos *ChaosOptions
+
+	// sleep replaces the backoff sleep for tests. nil means ctxSleep.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Key content-hashes a cell spec's canonical JSON into the journal key.
+func Key(spec any) (string, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("campaign: marshaling cell spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Run executes the cells on the bounded pool with checkpointing, retry, and
+// (optionally) process isolation, returning one Outcome per cell in cell
+// order. Per-cell failures degrade rather than abort: Run returns an error
+// only for campaign-level problems — an invalid cell set, an unusable or
+// unwritable journal, a cancelled context, or the chaos harness's ErrKilled.
+func Run(ctx context.Context, name string, cells []Cell, opts Options) ([]Outcome, error) {
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 100 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 5 * time.Second
+	}
+	if opts.sleep == nil {
+		opts.sleep = ctxSleep
+	}
+
+	outcomes := make([]Outcome, len(cells))
+	seen := make(map[string]int, len(cells))
+	for i, c := range cells {
+		key, err := Key(c.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: cell %s: %w", c.Name, err)
+		}
+		if prev, dup := seen[key]; dup {
+			return nil, fmt.Errorf("campaign: cells %s and %s share content key %s — the journal cannot tell them apart",
+				cells[prev].Name, c.Name, key)
+		}
+		seen[key] = i
+		outcomes[i] = Outcome{Index: i, Name: c.Name, Key: key}
+	}
+
+	var j *journal
+	if opts.Journal != "" {
+		var err error
+		if j, err = openJournal(opts.Journal, name, opts.Resume, opts.Chaos); err != nil {
+			return nil, err
+		}
+		defer j.close()
+	}
+
+	// The campaign's own context: a chaos kill or a journal-write failure
+	// cancels it so in-flight cells drain at their next cooperative poll,
+	// mimicking sudden process death as closely as an in-process harness can.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		abortMu  sync.Mutex
+		abortErr error
+	)
+	abort := func(err error) {
+		abortMu.Lock()
+		if abortErr == nil {
+			abortErr = err
+		}
+		abortMu.Unlock()
+		cancel()
+	}
+
+	var (
+		tasks   []runner.Task
+		taskIdx []int
+	)
+	for i := range cells {
+		o := &outcomes[i]
+		if j != nil {
+			if rec, ok := j.prior[o.Key]; ok {
+				o.FromJournal = true
+				o.Attempts = rec.Attempts
+				if rec.Error != "" {
+					o.Class = parseClass(rec.Class)
+					o.Err = &journaledError{msg: rec.Error, class: o.Class}
+				} else {
+					o.Value = rec.Value
+				}
+				continue
+			}
+		}
+		i := i
+		tasks = append(tasks, runner.Task{
+			Name: cells[i].Name,
+			Run: func(tctx context.Context) (any, error) {
+				return runCell(tctx, cells[i], outcomes[i], opts, j, abort), nil
+			},
+		})
+		taskIdx = append(taskIdx, i)
+	}
+
+	trs := runner.RunTasks(runCtx, tasks, runner.Options{Jobs: opts.Workers, Progress: opts.Progress})
+	for k, tr := range trs {
+		i := taskIdx[k]
+		if tr.Err != nil {
+			// Pool-level failure: the cell never produced an Outcome (not
+			// started before cancellation, or the campaign plumbing itself
+			// panicked). Never journaled, so a resume re-runs it.
+			outcomes[i].Err = tr.Err
+			outcomes[i].Class = Classify(tr.Err)
+		} else {
+			outcomes[i] = tr.Value.(Outcome)
+		}
+		outcomes[i].HostNS = tr.HostNS
+	}
+
+	abortMu.Lock()
+	err := abortErr
+	abortMu.Unlock()
+	if err != nil {
+		return outcomes, err
+	}
+	if err := ctx.Err(); err != nil {
+		return outcomes, fmt.Errorf("campaign: %s cancelled: %w", name, err)
+	}
+	return outcomes, nil
+}
+
+// runCell drives one cell to a terminal outcome: attempt, classify, retry
+// transients under backoff, journal the terminal result.
+func runCell(ctx context.Context, c Cell, o Outcome, opts Options, j *journal, abort func(error)) Outcome {
+	for {
+		o.Attempts++
+		val, err := attempt(ctx, c, o.Key, opts)
+		if err == nil && chaosFault(opts.Chaos, o.Key) && o.Attempts == 1 {
+			err = fmt.Errorf("campaign: %s: chaos-injected fault: %w", c.Name, ErrTransient)
+		}
+		class := Classify(err)
+		switch class {
+		case ClassNone:
+			raw, merr := json.Marshal(val)
+			if merr != nil {
+				o.Err = fmt.Errorf("campaign: %s: marshaling cell value: %w", c.Name, merr)
+				o.Class = ClassDeterministic
+				journalOutcome(j, o, abort)
+				return o
+			}
+			o.Value = raw
+			o.Err, o.Class = nil, ClassNone
+			journalOutcome(j, o, abort)
+			return o
+		case ClassCancelled:
+			// Not journaled: the campaign is going down, and a resume must
+			// re-run this cell.
+			o.Err, o.Class = err, class
+			return o
+		case ClassTransient:
+			if o.Attempts <= opts.Retries {
+				if serr := opts.sleep(ctx, backoffFor(opts, o.Key, o.Attempts)); serr != nil {
+					o.Err, o.Class = serr, ClassCancelled
+					return o
+				}
+				continue
+			}
+		}
+		// Terminal failure: deterministic, or transient with the retry
+		// budget exhausted. Journaled so a resume preserves the degraded
+		// block byte-for-byte rather than silently re-litigating it.
+		o.Err, o.Class = err, class
+		journalOutcome(j, o, abort)
+		return o
+	}
+}
+
+// attempt runs one try of the cell, in-process or isolated, with its
+// per-attempt wall-clock bound applied.
+func attempt(ctx context.Context, c Cell, key string, opts Options) (val any, err error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = opts.CellTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if opts.Isolate != nil {
+		return runIsolated(ctx, c, opts.Isolate)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			val, err = nil, &PanicError{Cell: c.Name, Value: r}
+		}
+	}()
+	return c.Run(ctx)
+}
+
+// journalOutcome appends a terminal outcome; a refused append (chaos kill or
+// write failure) aborts the whole campaign — continuing without durability
+// would let a later crash silently lose work the caller believes journaled.
+func journalOutcome(j *journal, o Outcome, abort func(error)) {
+	if j == nil {
+		return
+	}
+	rec := journalRecord{Kind: "cell", Key: o.Key, Name: o.Name, Attempts: o.Attempts, Value: o.Value}
+	if o.Err != nil {
+		rec.Value = nil
+		rec.Error = o.Err.Error()
+		rec.Class = o.Class.String()
+	}
+	if err := j.appendCell(rec); err != nil {
+		abort(err)
+	}
+}
+
+// backoffFor computes the capped exponential backoff plus deterministic
+// jitter for a cell's next retry.
+func backoffFor(opts Options, key string, attempt int) time.Duration {
+	d := opts.BackoffBase
+	for i := 1; i < attempt && d < opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > opts.BackoffMax {
+		d = opts.BackoffMax
+	}
+	// Seeded jitter in [0, d/2): same (seed, key, attempt) -> same delay,
+	// so retry schedules reproduce exactly.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", opts.Seed, key, attempt)
+	jitter := time.Duration(h.Sum64() % uint64(d/2+1))
+	if d+jitter > opts.BackoffMax {
+		return opts.BackoffMax
+	}
+	return d + jitter
+}
+
+// chaosFault reports whether the chaos harness injects a transient fault
+// into this cell's first attempt.
+func chaosFault(c *ChaosOptions, key string) bool {
+	if c == nil || c.FaultEveryN <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", c.Seed, key)
+	return h.Sum64()%uint64(c.FaultEveryN) == 0
+}
+
+// ctxSleep sleeps for d or until the context dies, whichever comes first.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Degraded collects the cells that failed permanently, in cell order, for an
+// artifact's degraded block. Cancelled cells are excluded — they are not a
+// campaign outcome, just an aborted campaign. repro, when non-nil, supplies
+// the per-cell ready-to-run reproduction command.
+func Degraded(outcomes []Outcome, repro func(o Outcome) string) []artifact.DegradedCell {
+	var out []artifact.DegradedCell
+	for _, o := range outcomes {
+		if o.Err == nil || o.Class == ClassCancelled {
+			continue
+		}
+		d := artifact.DegradedCell{
+			Name:     o.Name,
+			Key:      o.Key,
+			Error:    o.Err.Error(),
+			Class:    o.Class.String(),
+			Attempts: o.Attempts,
+		}
+		if repro != nil {
+			d.Repro = repro(o)
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package campaign
+
+// Subprocess isolation: each attempt runs in a child worker process that
+// receives one cell spec on stdin and answers with one result line on
+// stdout. The parent enforces the wall-clock bound by killing the child —
+// kill-on-hang, not ask-on-hang — so a wedged, runaway, or OOMed cell can
+// take down only its own process, never the campaign. Because only error
+// text survives the process boundary, the worker classifies its own failure
+// (it holds the typed error) and ships the class over the wire; a child that
+// dies without answering is a WorkerCrashError, transient by definition.
+//
+// The worker is the same binary re-exec'd: each campaign CLI registers a
+// -cellworker mode that calls ServeWorker with a handler decoding its own
+// spec type.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// IsolateOptions configures subprocess isolation.
+type IsolateOptions struct {
+	// Argv is the worker command line. Empty means re-exec the current
+	// binary with a single "-cellworker" argument.
+	Argv []string
+	// Env is appended to the parent's environment for each worker.
+	Env []string
+	// Grace is how long after the kill signal the parent waits for the
+	// child's pipes to drain before abandoning them (default 2s).
+	Grace time.Duration
+}
+
+// wireCell is the parent->worker request: one cell's identity.
+type wireCell struct {
+	Name string          `json:"name"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// wireResult is the worker->parent response.
+type wireResult struct {
+	OK    bool            `json:"ok"`
+	Value json.RawMessage `json:"value,omitempty"`
+	Error string          `json:"error,omitempty"`
+	Class string          `json:"class,omitempty"`
+}
+
+// runIsolated executes one attempt of the cell in a worker process. The
+// context carries the attempt's deadline; expiry kills the child and
+// surfaces as a transient timeout.
+func runIsolated(ctx context.Context, c Cell, iso *IsolateOptions) (any, error) {
+	spec, err := json.Marshal(c.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s: marshaling spec for worker: %w", c.Name, err)
+	}
+	req, err := json.Marshal(wireCell{Name: c.Name, Spec: spec})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s: marshaling worker request: %w", c.Name, err)
+	}
+
+	argv := iso.Argv
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: resolving worker binary: %w", err)
+		}
+		argv = []string{exe, "-cellworker"}
+	}
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), iso.Env...)
+	cmd.Stdin = bytes.NewReader(append(req, '\n'))
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	grace := iso.Grace
+	if grace <= 0 {
+		grace = 2 * time.Second
+	}
+	cmd.WaitDelay = grace // CommandContext kills on expiry; this bounds the pipe drain
+
+	runErr := cmd.Run()
+	if ctx.Err() != nil {
+		// Deadline or cancellation killed the child; report the context's
+		// verdict (DeadlineExceeded -> transient, Canceled -> cancelled)
+		// rather than the child's SIGKILL exit.
+		return nil, fmt.Errorf("campaign: %s: isolated worker killed: %w", c.Name, ctx.Err())
+	}
+	if runErr != nil {
+		return nil, &WorkerCrashError{Cell: c.Name, Err: runErr, Stderr: tail(stderr.Bytes())}
+	}
+	var res wireResult
+	if err := json.Unmarshal(bytes.TrimSpace(stdout.Bytes()), &res); err != nil {
+		return nil, &WorkerCrashError{
+			Cell:   c.Name,
+			Err:    fmt.Errorf("unparsable worker output %q: %w", tail(stdout.Bytes()), err),
+			Stderr: tail(stderr.Bytes()),
+		}
+	}
+	if !res.OK {
+		return nil, &RemoteError{Msg: res.Error, Class: parseClass(res.Class)}
+	}
+	return res.Value, nil
+}
+
+// tail returns the last portion of a worker stream for error messages.
+func tail(b []byte) string {
+	const max = 2048
+	b = bytes.TrimSpace(b)
+	if len(b) > max {
+		b = b[len(b)-max:]
+	}
+	return string(b)
+}
+
+// ServeWorker is the child side of the isolation protocol: it reads one
+// wire-encoded cell from r, runs handler on its spec, and writes the
+// classified result to w. Campaign CLIs call it from their -cellworker mode;
+// the handler decodes the CLI's own spec type and must be deterministic.
+// A handler panic is captured and reported as a deterministic failure. The
+// returned error covers protocol problems only (undecodable input, broken
+// pipe) — handler failures travel inside the wire result.
+func ServeWorker(r io.Reader, w io.Writer, handler func(ctx context.Context, name string, spec json.RawMessage) (any, error)) error {
+	var req wireCell
+	if err := json.NewDecoder(r).Decode(&req); err != nil {
+		return fmt.Errorf("campaign: worker: decoding request: %w", err)
+	}
+	val, err := func() (val any, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				val, err = nil, &PanicError{Cell: req.Name, Value: rec}
+			}
+		}()
+		return handler(context.Background(), req.Name, req.Spec)
+	}()
+	var res wireResult
+	if err != nil {
+		res = wireResult{Error: err.Error(), Class: Classify(err).String()}
+	} else {
+		raw, merr := json.Marshal(val)
+		if merr != nil {
+			res = wireResult{Error: fmt.Sprintf("marshaling cell value: %v", merr), Class: ClassDeterministic.String()}
+		} else {
+			res = wireResult{OK: true, Value: raw}
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&res); err != nil {
+		return fmt.Errorf("campaign: worker: writing result: %w", err)
+	}
+	return nil
+}

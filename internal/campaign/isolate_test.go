@@ -1,0 +1,234 @@
+package campaign
+
+// Isolation-mode tests use the exec-helper pattern: the test binary re-execs
+// itself with -test.run=TestHelperCellWorker$ and an env marker, and the
+// helper invocation calls ServeWorker exactly like a CLI's -cellworker mode.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// isoSpec is the wire spec the helper worker serves.
+type isoSpec struct {
+	X    int    `json:"x"`
+	Fail string `json:"fail,omitempty"` // "", "transient", "deterministic", "panic", "hang"
+}
+
+// TestHelperCellWorker is not a test: it is the worker process body, entered
+// only when the parent test re-execs the binary with the env marker set.
+func TestHelperCellWorker(t *testing.T) {
+	if os.Getenv("CAMPAIGN_TEST_WORKER") == "" {
+		t.Skip("worker-process helper; runs only via re-exec")
+	}
+	if os.Getenv("CAMPAIGN_TEST_WORKER_MODE") == "crash" {
+		os.Exit(3)
+	}
+	err := ServeWorker(os.Stdin, os.Stdout, func(ctx context.Context, name string, spec json.RawMessage) (any, error) {
+		s, err := DecodeSpec[isoSpec](spec)
+		if err != nil {
+			return nil, err
+		}
+		switch s.Fail {
+		case "transient":
+			return nil, fmt.Errorf("flaky hardware: %w", ErrTransient)
+		case "deterministic":
+			return nil, errors.New("always diverges")
+		case "panic":
+			panic("worker kaboom")
+		case "hang":
+			time.Sleep(time.Hour)
+		}
+		return synthValue{I: s.X, Sq: s.X * s.X}, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	os.Exit(0) // suppress the test harness's PASS line on stdout
+}
+
+// helperIsolate re-execs this test binary as the worker.
+func helperIsolate(mode string) *IsolateOptions {
+	return &IsolateOptions{
+		Argv: []string{os.Args[0], "-test.run", "TestHelperCellWorker$"},
+		Env: []string{
+			"CAMPAIGN_TEST_WORKER=1",
+			"CAMPAIGN_TEST_WORKER_MODE=" + mode,
+		},
+		Grace: 2 * time.Second,
+	}
+}
+
+// isoCells builds cells whose Run must never execute in-process when
+// isolation is on (the body fails the test if invoked).
+func isoCells(t *testing.T, name string, specs []isoSpec) []Cell {
+	cells := make([]Cell, len(specs))
+	for i, s := range specs {
+		cells[i] = Cell{
+			Name: fmt.Sprintf("%s-%d", name, i),
+			Spec: s,
+			Run: func(ctx context.Context) (any, error) {
+				t.Error("cell ran in-process despite isolation mode")
+				return nil, errors.New("in-process run")
+			},
+		}
+	}
+	return cells
+}
+
+// TestIsolateWorkerValues: isolated workers produce the same canonical value
+// bytes as in-process runs — the whole point of the wire format.
+func TestIsolateWorkerValues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process isolation in -short")
+	}
+	specs := []isoSpec{{X: 1}, {X: 2}, {X: 3}}
+	cells := isoCells(t, "isoval", specs)
+	outcomes, err := Run(context.Background(), "isoval", cells,
+		Options{Workers: 2, Isolate: helperIsolate("")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("cell %s: %v", o.Name, o.Err)
+		}
+		want, _ := json.Marshal(synthValue{I: specs[i].X, Sq: specs[i].X * specs[i].X})
+		if string(o.Value) != string(want) {
+			t.Fatalf("cell %s: value %s, want %s", o.Name, o.Value, want)
+		}
+	}
+}
+
+// TestIsolateWorkerCrashIsTransient: a worker that dies without answering is
+// a WorkerCrashError — transient, so it consumes the whole retry budget.
+func TestIsolateWorkerCrashIsTransient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process isolation in -short")
+	}
+	cells := isoCells(t, "isocrash", []isoSpec{{X: 1}})
+	opts := Options{Retries: 2, Isolate: helperIsolate("crash")}
+	noSleep(&opts)
+	outcomes, err := Run(context.Background(), "isocrash", cells, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outcomes[0]
+	if o.Err == nil || o.Class != ClassTransient || o.Attempts != 3 {
+		t.Fatalf("crash outcome: err=%v class=%v attempts=%d, want transient after 3 attempts", o.Err, o.Class, o.Attempts)
+	}
+	var wce *WorkerCrashError
+	if !errors.As(o.Err, &wce) {
+		t.Fatalf("err %T, want *WorkerCrashError", o.Err)
+	}
+}
+
+// TestIsolateWorkerClassCrossesWire: the worker classifies its own failure
+// and the class survives the process boundary — a deterministic remote
+// failure is never retried, a transient one is.
+func TestIsolateWorkerClassCrossesWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process isolation in -short")
+	}
+	cases := []struct {
+		fail         string
+		wantClass    Class
+		wantAttempts int
+	}{
+		{"deterministic", ClassDeterministic, 1},
+		{"panic", ClassDeterministic, 1},
+		{"transient", ClassTransient, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.fail, func(t *testing.T) {
+			cells := isoCells(t, "isoclass-"+c.fail, []isoSpec{{X: 7, Fail: c.fail}})
+			opts := Options{Retries: 2, Isolate: helperIsolate("")}
+			noSleep(&opts)
+			outcomes, err := Run(context.Background(), "isoclass-"+c.fail, cells, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := outcomes[0]
+			if o.Err == nil || o.Class != c.wantClass || o.Attempts != c.wantAttempts {
+				t.Fatalf("outcome err=%v class=%v attempts=%d, want class %v after %d attempts",
+					o.Err, o.Class, o.Attempts, c.wantClass, c.wantAttempts)
+			}
+			var re *RemoteError
+			if !errors.As(o.Err, &re) {
+				t.Fatalf("err %T, want *RemoteError", o.Err)
+			}
+		})
+	}
+}
+
+// TestIsolateKillOnHang: a wedged worker is killed when the cell's
+// wall-clock bound expires, and the kill classifies as a transient timeout.
+func TestIsolateKillOnHang(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process isolation in -short")
+	}
+	cells := isoCells(t, "isohang", []isoSpec{{X: 1, Fail: "hang"}})
+	opts := Options{CellTimeout: 300 * time.Millisecond, Isolate: helperIsolate("")}
+	noSleep(&opts)
+	start := time.Now()
+	outcomes, err := Run(context.Background(), "isohang", cells, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outcomes[0]
+	if o.Err == nil || !errors.Is(o.Err, context.DeadlineExceeded) || o.Class != ClassTransient {
+		t.Fatalf("hang outcome: err=%v class=%v, want transient deadline", o.Err, o.Class)
+	}
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Fatalf("kill-on-hang took %v — the worker was not killed promptly", wall)
+	}
+}
+
+// TestServeWorkerProtocol: the child-side protocol handles good cells,
+// handler errors, and handler panics without protocol failures.
+func TestServeWorkerProtocol(t *testing.T) {
+	serve := func(t *testing.T, spec isoSpec) wireResult {
+		t.Helper()
+		raw, _ := json.Marshal(spec)
+		req, _ := json.Marshal(wireCell{Name: "cell", Spec: raw})
+		var out bytes.Buffer
+		err := ServeWorker(bytes.NewReader(req), &out, func(ctx context.Context, name string, sp json.RawMessage) (any, error) {
+			s, err := DecodeSpec[isoSpec](sp)
+			if err != nil {
+				return nil, err
+			}
+			switch s.Fail {
+			case "transient":
+				return nil, fmt.Errorf("blip: %w", ErrTransient)
+			case "panic":
+				panic("kaboom")
+			}
+			return synthValue{I: s.X, Sq: s.X * s.X}, nil
+		})
+		if err != nil {
+			t.Fatalf("protocol error: %v", err)
+		}
+		var res wireResult
+		if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+			t.Fatalf("unparsable wire result %q: %v", out.Bytes(), err)
+		}
+		return res
+	}
+	if res := serve(t, isoSpec{X: 4}); !res.OK || string(res.Value) != `{"i":4,"sq":16}` {
+		t.Fatalf("success result: %+v", res)
+	}
+	if res := serve(t, isoSpec{Fail: "transient"}); res.OK || res.Class != "transient" {
+		t.Fatalf("transient result: %+v", res)
+	}
+	if res := serve(t, isoSpec{Fail: "panic"}); res.OK || res.Class != "deterministic" || !strings.Contains(res.Error, "kaboom") {
+		t.Fatalf("panic result: %+v", res)
+	}
+}

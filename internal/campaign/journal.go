@@ -1,0 +1,200 @@
+package campaign
+
+// The checkpoint journal: an append-only JSONL file with one header line and
+// one line per terminally-finished cell, keyed by the cell's content hash.
+// Append-only is the crash-safety story — a SIGKILL can at worst tear the
+// final line, which the reader tolerates and the next append overwrites
+// nothing. Each line is written with a single Write call on an O_APPEND
+// descriptor, so concurrent workers (serialized by the journal mutex) and
+// abrupt death cannot interleave or half-order records; the only corruption
+// mode is a torn tail.
+//
+// Determinism contract: the journal stores each cell's value as the exact
+// JSON bytes the campaign handed to its client, so a resumed campaign
+// replays byte-identical values and the final artifact cannot drift from an
+// uninterrupted run's.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// JournalSchema identifies the checkpoint format; resume refuses others.
+const JournalSchema = "campaign-journal/v1"
+
+// ErrKilled is returned by a campaign whose chaos harness reached its
+// configured kill point: the run aborted mid-flight as if SIGKILLed, leaving
+// the journal for a resume.
+var ErrKilled = errors.New("campaign: killed at chaos kill point")
+
+// journalRecord is one journal line. Kind is "header" for the first line and
+// "cell" for every terminal cell outcome.
+type journalRecord struct {
+	Kind     string          `json:"kind"`
+	Schema   string          `json:"schema,omitempty"`   // header only
+	Campaign string          `json:"campaign,omitempty"` // header only
+	Key      string          `json:"key,omitempty"`
+	Name     string          `json:"name,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Value    json.RawMessage `json:"value,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Class    string          `json:"class,omitempty"`
+}
+
+// journal is the open checkpoint file plus the records loaded from a resume.
+type journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	prior   map[string]journalRecord // key -> terminal record from a prior run
+	appends int                      // successful cell appends this run
+	chaos   *ChaosOptions
+	killed  bool
+	// tornAt is the byte offset where a torn final line starts (-1 when the
+	// file is clean). Resume truncates it away before appending — otherwise
+	// the first new record would concatenate onto the half-written line and
+	// corrupt the journal for every later resume.
+	tornAt int64
+}
+
+// openJournal opens the checkpoint at path. With resume, an existing file's
+// records are loaded (after validating the header against the campaign name)
+// and appends continue behind them; a missing file starts fresh. Without
+// resume, any existing file is truncated.
+func openJournal(path, campaign string, resume bool, chaos *ChaosOptions) (*journal, error) {
+	j := &journal{prior: map[string]journalRecord{}, chaos: chaos}
+	if resume {
+		data, err := os.ReadFile(path)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// Nothing to resume; fall through to a fresh journal.
+		case err != nil:
+			return nil, fmt.Errorf("campaign: reading journal %s: %w", path, err)
+		default:
+			if err := j.load(path, campaign, data); err != nil {
+				return nil, err
+			}
+			if j.tornAt >= 0 {
+				// Crash recovery: drop the half-written record (it was never
+				// a complete checkpoint, so nothing is lost) so appends start
+				// on a fresh line.
+				if err := os.Truncate(path, j.tornAt); err != nil {
+					return nil, fmt.Errorf("campaign: truncating torn journal tail in %s: %w", path, err)
+				}
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: opening journal %s: %w", path, err)
+			}
+			j.f = f
+			return j, nil
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: creating journal %s: %w", path, err)
+	}
+	j.f = f
+	if err := j.write(journalRecord{Kind: "header", Schema: JournalSchema, Campaign: campaign}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// load parses an existing journal's lines into prior records. A torn final
+// line (SIGKILL mid-write) is tolerated and discarded; corruption anywhere
+// else, a bad header, or a campaign-name mismatch is an error — silently
+// resuming the wrong campaign would poison the artifact.
+func (j *journal) load(path, campaign string, data []byte) error {
+	lines := bytes.Split(data, []byte("\n"))
+	sawHeader := false
+	j.tornAt = -1
+	offset := int64(0)
+	for i, line := range lines {
+		lineStart := offset
+		offset += int64(len(line)) + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				// Torn tail from an abrupt kill: the record never finished,
+				// so its cell simply re-runs. Remember where it starts so
+				// the resume path can truncate it away.
+				j.tornAt = lineStart
+				continue
+			}
+			return fmt.Errorf("campaign: journal %s corrupt at line %d: %w", path, i+1, err)
+		}
+		switch rec.Kind {
+		case "header":
+			if rec.Schema != JournalSchema {
+				return fmt.Errorf("campaign: journal %s schema %q, want %q", path, rec.Schema, JournalSchema)
+			}
+			if rec.Campaign != campaign {
+				return fmt.Errorf("campaign: journal %s belongs to campaign %q, not %q", path, rec.Campaign, campaign)
+			}
+			sawHeader = true
+		case "cell":
+			if rec.Key == "" {
+				return fmt.Errorf("campaign: journal %s line %d: cell record without key", path, i+1)
+			}
+			j.prior[rec.Key] = rec // later records win (re-runs append)
+		default:
+			return fmt.Errorf("campaign: journal %s line %d: unknown record kind %q", path, i+1, rec.Kind)
+		}
+	}
+	if !sawHeader {
+		return fmt.Errorf("campaign: journal %s has no header", path)
+	}
+	return nil
+}
+
+// appendCell journals one terminal cell outcome. Under the chaos harness the
+// configured append is torn mid-write and ErrKilled returned, simulating a
+// SIGKILL landing inside the write syscall; all later appends are refused.
+func (j *journal) appendCell(rec journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.killed {
+		return ErrKilled
+	}
+	if j.chaos != nil && j.chaos.KillAtAppend > 0 && j.appends+1 == j.chaos.KillAtAppend {
+		j.killed = true
+		line, err := json.Marshal(rec)
+		if err == nil && len(line) > 2 {
+			// Leave a torn half-line behind, the worst crash artifact an
+			// append-only journal can produce; resume must shrug it off.
+			j.f.Write(line[:len(line)/2])
+		}
+		return ErrKilled
+	}
+	if err := j.write(rec); err != nil {
+		return err
+	}
+	j.appends++
+	return nil
+}
+
+// write marshals rec and appends it as one line with a single Write call.
+func (j *journal) write(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: marshaling journal record: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("campaign: appending to journal: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,11 +1,13 @@
 package conform
 
-// The campaign fans generated programs through the shared bounded worker
-// pool (internal/runner): one task per program, each task running the full
-// configuration matrix against the golden model. The report artifact
-// follows the repo's bench/leakage pattern — a schema-versioned JSON whose
-// deterministic payload is byte-identical for the same (seed, n) at any
-// worker count, with all wall-clock data quarantined in a host block.
+// The campaign fans generated programs through the resilient execution
+// layer (internal/campaign): one cell per program, each cell running the
+// full configuration matrix against the golden model, with journaled
+// checkpoints, transient-failure retries, and optional subprocess
+// isolation. The report artifact follows the repo's bench/leakage pattern
+// — a schema-versioned JSON whose deterministic payload is byte-identical
+// for the same (seed, n) at any worker count, with all wall-clock data
+// quarantined in a host block.
 
 import (
 	"context"
@@ -15,7 +17,8 @@ import (
 	"runtime"
 	"time"
 
-	"invisispec/internal/runner"
+	"invisispec/internal/artifact"
+	"invisispec/internal/campaign"
 )
 
 // ReportSchema identifies the campaign artifact format.
@@ -26,12 +29,32 @@ type Options struct {
 	Seed uint64 // campaign seed; program i derives from Mix(Seed, i)
 	N    int    // number of programs
 	Jobs int    // worker count (<=0: GOMAXPROCS)
+	// Indices restricts the campaign to specific program indices (the
+	// -only flag); nil means 0..N-1.
+	Indices []int
 	// Shrink minimizes every diverging program and embeds the minimized
 	// listing and a ready-to-commit corpus test in the report.
 	Shrink         bool
 	MaxShrinkEvals int       // oracle budget per shrink (default 2000)
 	Progress       io.Writer // optional per-program progress lines
 	Timeout        time.Duration
+	// Campaign carries the resilience knobs (journal/resume/retries/
+	// isolation/chaos); Jobs, Timeout, and Progress above override its
+	// pool fields.
+	Campaign campaign.Options
+	// Repro, when non-nil, overrides the default reproduction command
+	// recorded for a degraded cell.
+	Repro func(ProgSpec) string
+}
+
+// ProgSpec is one conformance cell's content identity: everything that
+// determines the program's deterministic outcome. It is the journal hash
+// key and the isolation wire format for conformance campaigns.
+type ProgSpec struct {
+	CampaignSeed   uint64 `json:"campaign_seed"`
+	Index          int    `json:"index"`
+	Shrink         bool   `json:"shrink,omitempty"`
+	MaxShrinkEvals int    `json:"max_shrink_evals,omitempty"`
 }
 
 // ProgramResult is one program's deterministic outcome.
@@ -71,32 +94,42 @@ type Report struct {
 	Diverging int             `json:"diverging"`
 	Errors    int             `json:"errors"`
 	Runs      []ProgramResult `json:"runs"`
-	Host      *Host           `json:"host,omitempty"`
+	// Degraded lists the cells whose runs exhausted their retry budget
+	// (campaign graceful degradation): the campaign completed without
+	// them, the CLI exits non-zero, and each entry carries a ready-to-run
+	// repro command.
+	Degraded []artifact.DegradedCell `json:"degraded,omitempty"`
+	Host     *Host                   `json:"host,omitempty"`
 }
 
-// checkOne generates and checks program i, shrinking on divergence.
-func checkOne(ctx context.Context, opts Options, i int) ProgramResult {
-	seed := Mix(opts.Seed, uint64(i))
+// RunProgSpec generates and checks one program from its spec alone,
+// shrinking on divergence — the in-process cell body and the -cellworker
+// handler for isolation mode. Deterministic outcomes (golden-model
+// failures, divergences) are embedded in the ProgramResult; only
+// execution-layer failures (context cancellation or expiry) surface as
+// the returned error, so the campaign's retry policy never re-runs a
+// divergence but does re-run a timed-out cell.
+func RunProgSpec(ctx context.Context, s ProgSpec) (ProgramResult, error) {
+	seed := Mix(s.CampaignSeed, uint64(s.Index))
 	p := Generate(seed)
-	p.Name = fmt.Sprintf("conform-%d-%x", i, seed)
-	res := ProgramResult{Index: i, Seed: seed, Insts: len(p.Insts)}
+	p.Name = fmt.Sprintf("conform-%d-%x", s.Index, seed)
+	res := ProgramResult{Index: s.Index, Seed: seed, Insts: len(p.Insts)}
 	ref, err := RunRef(p)
 	if err != nil {
 		res.Error = err.Error()
-		return res
+		return res, nil
 	}
 	res.Retired, res.Faults = ref.Retired, ref.Faults
 	for _, cfg := range Configs() {
-		if ctx.Err() != nil {
-			res.Error = ctx.Err().Error()
-			return res
+		if err := ctx.Err(); err != nil {
+			return res, err
 		}
 		if reason := CheckConfig(p, cfg, ref); reason != "" {
 			res.Divergences = append(res.Divergences, Divergence{Config: cfg.String(), Reason: reason})
 		}
 	}
-	if len(res.Divergences) == 0 || !opts.Shrink {
-		return res
+	if len(res.Divergences) == 0 || !s.Shrink {
+		return res, nil
 	}
 	// Minimize against the first diverging configuration: one oracle
 	// evaluation is then a single golden run plus a single simulation.
@@ -106,7 +139,7 @@ func checkOne(ctx context.Context, opts Options, i int) ProgramResult {
 			first = cfg
 		}
 	}
-	budget := opts.MaxShrinkEvals
+	budget := s.MaxShrinkEvals
 	if budget <= 0 {
 		budget = 2000
 	}
@@ -116,45 +149,73 @@ func checkOne(ctx context.Context, opts Options, i int) ProgramResult {
 	res.ShrinkEvals = st.Evals
 	res.Minimized = Listing(min)
 	res.ReproGo = EmitGoTest(fmt.Sprintf("Seed%x", seed), res.Divergences[0].Config+": "+res.Divergences[0].Reason, min)
-	return res
+	return res, nil
 }
 
-// Campaign runs n programs through the matrix and assembles the report.
-// Runs are indexed by program, so the deterministic payload is
-// byte-identical regardless of worker count or scheduling.
-func Campaign(ctx context.Context, opts Options) *Report {
-	tasks := make([]runner.Task, opts.N)
-	for i := range tasks {
-		i := i
-		tasks[i] = runner.Task{
-			Name:    fmt.Sprintf("conform-%d", i),
+// indices resolves Options.Indices (nil means every program).
+func (o Options) indices() []int {
+	if o.Indices != nil {
+		return o.Indices
+	}
+	out := make([]int, o.N)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Campaign runs the selected programs through the matrix via the campaign
+// layer and assembles the report. Runs are addressed by cell index, so the
+// deterministic payload is byte-identical regardless of worker count,
+// completion order, or whether cells were replayed from a resume journal.
+// The returned error is execution-layer only (a journal failure or an
+// injected chaos kill); per-program failures degrade into the report.
+func Campaign(ctx context.Context, opts Options) (*Report, error) {
+	idxs := opts.indices()
+	cells := make([]campaign.Cell, len(idxs))
+	for i, idx := range idxs {
+		spec := ProgSpec{CampaignSeed: opts.Seed, Index: idx, Shrink: opts.Shrink, MaxShrinkEvals: opts.MaxShrinkEvals}
+		cells[i] = campaign.Cell{
+			Name:    fmt.Sprintf("conform-%d", idx),
+			Spec:    spec,
 			Timeout: opts.Timeout,
 			Run: func(ctx context.Context) (any, error) {
-				return checkOne(ctx, opts, i), nil
+				return RunProgSpec(ctx, spec)
 			},
 		}
 	}
+	copts := opts.Campaign
+	copts.Workers = opts.Jobs
+	copts.Progress = opts.Progress
 	start := time.Now()
-	results := runner.RunTasks(ctx, tasks, runner.Options{Jobs: opts.Jobs, Progress: opts.Progress})
+	name := fmt.Sprintf("conform-seed%d", opts.Seed)
+	outcomes, err := campaign.Run(ctx, name, cells, copts)
+	if err != nil {
+		return nil, err
+	}
 	var cfgNames []string
 	for _, c := range Configs() {
 		cfgNames = append(cfgNames, c.String())
 	}
 	rep := &Report{
 		Schema:   ReportSchema,
-		Name:     fmt.Sprintf("conform-seed%d", opts.Seed),
+		Name:     name,
 		Seed:     opts.Seed,
-		Programs: opts.N,
+		Programs: len(idxs),
 		Configs:  cfgNames,
-		Runs:     make([]ProgramResult, opts.N),
+		Runs:     make([]ProgramResult, len(idxs)),
 	}
-	for i, r := range results {
+	for i, o := range outcomes {
+		idx := idxs[i]
 		switch {
-		case r.Err != nil:
-			// Pool-level failure (timeout, panic in the harness itself).
-			rep.Runs[i] = ProgramResult{Index: i, Seed: Mix(opts.Seed, uint64(i)), Error: r.Err.Error()}
+		case o.Err != nil:
+			// Execution-layer failure after the retry budget (timeout,
+			// panic, worker crash); the cell also lands in Degraded.
+			rep.Runs[i] = ProgramResult{Index: idx, Seed: Mix(opts.Seed, uint64(idx)), Error: o.Err.Error()}
 		default:
-			rep.Runs[i] = r.Value.(ProgramResult)
+			if err := json.Unmarshal(o.Value, &rep.Runs[i]); err != nil {
+				return nil, fmt.Errorf("conform: decoding journaled result for %s: %w", o.Name, err)
+			}
 		}
 		if rep.Runs[i].Error != "" {
 			rep.Errors++
@@ -163,6 +224,13 @@ func Campaign(ctx context.Context, opts Options) *Report {
 			rep.Diverging++
 		}
 	}
+	rep.Degraded = campaign.Degraded(outcomes, func(o campaign.Outcome) string {
+		spec := ProgSpec{CampaignSeed: opts.Seed, Index: idxs[o.Index], Shrink: opts.Shrink, MaxShrinkEvals: opts.MaxShrinkEvals}
+		if opts.Repro != nil {
+			return opts.Repro(spec)
+		}
+		return fmt.Sprintf("go run ./cmd/conformfuzz -seed %d -n %d -only %d -shrink", opts.Seed, opts.N, spec.Index)
+	})
 	rep.Host = &Host{
 		WallMS: float64(time.Since(start).Nanoseconds()) / 1e6,
 		Jobs:   opts.Jobs,
@@ -170,7 +238,7 @@ func Campaign(ctx context.Context, opts Options) *Report {
 		GoOS:   runtime.GOOS,
 		GoVer:  runtime.Version(),
 	}
-	return rep
+	return rep, nil
 }
 
 // DeterministicPayload renders the report without its host block, for

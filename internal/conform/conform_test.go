@@ -103,9 +103,15 @@ func TestCampaignDeterministicAcrossJobs(t *testing.T) {
 	}
 	opts := Options{Seed: 7, N: 6}
 	opts.Jobs = 1
-	r1 := Campaign(context.Background(), opts)
+	r1, err := Campaign(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	opts.Jobs = 4
-	r4 := Campaign(context.Background(), opts)
+	r4, err := Campaign(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p1, err := r1.DeterministicPayload()
 	if err != nil {
 		t.Fatal(err)

@@ -133,9 +133,9 @@ func Measure(run config.Run, name string, progs []*isa.Program, warmup, measure 
 	window := "warmup"
 	defer func() {
 		if r := recover(); r != nil {
-			dump := invariant.Dump(&invariant.Target{
-				Cycle: m.Cycle(), Run: run, Cores: m.Cores, Hier: m.Hier,
-			})
+			t := &invariant.Target{Cycle: m.Cycle(), Run: run, Cores: m.Cores, Hier: m.Hier}
+			t.FFJumps, t.FFSkipped = m.FastForwardStats()
+			dump := invariant.Dump(t)
 			err = fmt.Errorf("%s: panic at cycle %d: %v\n%s", ctx(window), m.Cycle(), r, dump)
 		}
 	}()
@@ -203,9 +203,9 @@ func Complete(run config.Run, name string, progs []*isa.Program, maxCycles uint6
 	defer func() {
 		if r := recover(); r != nil {
 			cycle := m.Cycle()
-			dump := invariant.Dump(&invariant.Target{
-				Cycle: cycle, Run: run, Cores: m.Cores, Hier: m.Hier,
-			})
+			t := &invariant.Target{Cycle: cycle, Run: run, Cores: m.Cores, Hier: m.Hier}
+			t.FFJumps, t.FFSkipped = m.FastForwardStats()
+			dump := invariant.Dump(t)
 			m = nil
 			err = fmt.Errorf("%s [%v/%v]: panic at cycle %d: %v\n%s", name, run.Defense, run.Consistency, cycle, r, dump)
 		}

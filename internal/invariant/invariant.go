@@ -42,6 +42,13 @@ type Target struct {
 	Run   config.Run
 	Cores []*core.Core
 	Hier  *memsys.Hierarchy
+	// FFJumps and FFSkipped are the fast-forward kernel's skip statistics
+	// (sim.Machine.FastForwardStats) at observation time, both zero under
+	// the reference stepper. Diagnostics only — they appear in Dump and in
+	// DeadlockError so a hang under the fast kernel shows how much idle
+	// time was jumped before the stall.
+	FFJumps   uint64
+	FFSkipped uint64
 }
 
 // Checker is one pluggable invariant: Check returns nil when the invariant
@@ -74,7 +81,12 @@ type DeadlockError struct {
 	Window  uint64   // cycles since the last retirement anywhere
 	Retired []uint64 // per-core retired counts at detection
 	PCs     []int    // per-core fetch PCs at detection
-	Dump    string   // core + hierarchy diagnostic dump
+	// FFJumps and FFSkipped snapshot the fast kernel's clock-jump stats at
+	// detection (zero under the reference stepper), so hang triage can see
+	// how many cycles were legitimately skipped before progress stopped.
+	FFJumps   uint64
+	FFSkipped uint64
+	Dump      string // core + hierarchy diagnostic dump
 }
 
 func (e *DeadlockError) Error() string {
@@ -196,7 +208,8 @@ func (r *Registry) Watch(t *Target, done bool) error {
 			retired[i], pcs[i], _ = c.Progress()
 		}
 		return &DeadlockError{
-			Cycle: t.Cycle, Window: window, Retired: retired, PCs: pcs, Dump: Dump(t),
+			Cycle: t.Cycle, Window: window, Retired: retired, PCs: pcs,
+			FFJumps: t.FFJumps, FFSkipped: t.FFSkipped, Dump: Dump(t),
 		}
 	}
 	return nil
@@ -208,6 +221,7 @@ func (r *Registry) Watch(t *Target, done bool) error {
 func Dump(t *Target) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== machine dump at cycle %d ===\n", t.Cycle)
+	fmt.Fprintf(&b, "fast-forward: %d jumps skipped %d cycles\n", t.FFJumps, t.FFSkipped)
 	b.WriteString(t.Hier.DebugSummary())
 	for i, c := range t.Cores {
 		retired, pc, halted := c.Progress()

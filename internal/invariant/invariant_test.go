@@ -133,6 +133,20 @@ func TestMutationRetireStallCaught(t *testing.T) {
 		if de.Dump == "" || !strings.Contains(de.Dump, "machine dump") {
 			t.Fatalf("%v: deadlock dump missing: %q", k, de.Dump)
 		}
+		// The machine dump must carry the fast-forward counters so a deadlock
+		// report shows whether the kernel was jumping idle windows when the
+		// watchdog fired — under the fast kernel the stalled machine must
+		// have jumped, under the stepped kernel the counters must stay zero.
+		if !strings.Contains(de.Dump, "fast-forward:") {
+			t.Fatalf("%v: deadlock dump missing fast-forward stats:\n%s", k, de.Dump)
+		}
+		if k == engine.KernelFast {
+			if de.FFJumps == 0 || de.FFSkipped == 0 {
+				t.Fatalf("fast kernel DeadlockError missing FF stats: jumps=%d skipped=%d", de.FFJumps, de.FFSkipped)
+			}
+		} else if de.FFJumps != 0 || de.FFSkipped != 0 {
+			t.Fatalf("stepped kernel reported fast-forward activity: jumps=%d skipped=%d", de.FFJumps, de.FFSkipped)
+		}
 		if k == engine.KernelStepped {
 			steppedErr = err.Error()
 		} else {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"invisispec/internal/artifact"
 )
 
 // ReportSchema identifies the artifact format; readers refuse other
@@ -72,7 +74,21 @@ type Report struct {
 	Thresholds Thresholds  `json:"thresholds"`
 	Defenses   []string    `json:"defenses"`
 	Cells      []Cell      `json:"cells"`
-	Host       *ReportHost `json:"host,omitempty"`
+	// Degraded lists the cells whose trials exhausted their retry budget
+	// (campaign graceful degradation): the scan completed without them, the
+	// CLI exits non-zero, and each entry carries a ready-to-run repro
+	// command.
+	Degraded []artifact.DegradedCell `json:"degraded,omitempty"`
+	Host     *ReportHost             `json:"host,omitempty"`
+}
+
+// DeterministicPayload returns a copy with the host block stripped — the
+// bytes that must be identical across worker counts, kernel choices, and
+// interrupted-then-resumed campaigns. The chaos tests compare these.
+func (r *Report) DeterministicPayload() *Report {
+	cp := *r
+	cp.Host = nil
+	return &cp
 }
 
 // Violations returns the cells that fail the gate, in matrix order.

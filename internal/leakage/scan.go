@@ -2,14 +2,15 @@ package leakage
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"time"
 
+	"invisispec/internal/campaign"
 	"invisispec/internal/config"
 	"invisispec/internal/harness"
-	"invisispec/internal/runner"
 	"invisispec/internal/workload"
 )
 
@@ -40,6 +41,32 @@ type ScanOptions struct {
 	Progress io.Writer
 	// Name labels the report (e.g. "smoke" or "fuzz-seed42").
 	Name string
+	// Campaign carries the resilience knobs (journal/resume/retries/
+	// isolation/chaos) through to the execution layer; Jobs, Timeout, and
+	// Progress above override its pool fields.
+	Campaign campaign.Options
+	// Repro, when non-nil, builds the ready-to-run reproduction command
+	// recorded for a degraded cell (cmd/leakscan supplies one from its
+	// flags).
+	Repro func(TrialSpec) string
+}
+
+// TrialSpec is one scan cell's content identity — attack, defense,
+// consistency model, trial index, cycle budget — used as the journal hash
+// key and shipped to isolated workers, which re-run it via RunTrialSpec.
+type TrialSpec struct {
+	Attack      AttackSpec         `json:"attack"`
+	Defense     config.Defense     `json:"defense"`
+	Consistency config.Consistency `json:"consistency"`
+	Trial       int                `json:"trial"`
+	MaxCycles   uint64             `json:"max_cycles"`
+}
+
+// RunTrialSpec executes one trial from its spec alone and returns the
+// probe-line latencies — the in-process cell body and the -cellworker
+// handler for isolation mode.
+func RunTrialSpec(ctx context.Context, ts TrialSpec) ([]uint64, error) {
+	return runTrial(ctx, ts.Attack, ts.Defense, ts.Consistency, ts.Trial, ts.MaxCycles)
 }
 
 // Scan runs every spec under every defense for Trials repetitions,
@@ -72,23 +99,31 @@ func Scan(ctx context.Context, specs []AttackSpec, opts ScanOptions) (*Report, e
 		}
 	}
 
-	tasks := make([]runner.Task, 0, len(specs)*len(defenses)*trials)
+	cells := make([]campaign.Cell, 0, len(specs)*len(defenses)*trials)
+	cellSpecs := make([]TrialSpec, 0, cap(cells))
 	for _, s := range specs {
 		for _, d := range defenses {
 			for t := 0; t < trials; t++ {
-				s, d, t := s, d, t
-				tasks = append(tasks, runner.Task{
+				ts := TrialSpec{Attack: s, Defense: d, Consistency: opts.Consistency, Trial: t, MaxCycles: maxCycles}
+				cellSpecs = append(cellSpecs, ts)
+				cells = append(cells, campaign.Cell{
 					Name: fmt.Sprintf("%s/%s/t%d", s.ID, d, t),
+					Spec: ts,
 					Run: func(ctx context.Context) (any, error) {
-						return runTrial(ctx, s, d, opts.Consistency, t, maxCycles)
+						return RunTrialSpec(ctx, ts)
 					},
 				})
 			}
 		}
 	}
-	results := runner.RunTasks(ctx, tasks, runner.Options{
-		Jobs: opts.Jobs, Timeout: opts.Timeout, Progress: opts.Progress,
-	})
+	copts := opts.Campaign
+	copts.Workers = opts.Jobs
+	copts.CellTimeout = opts.Timeout
+	copts.Progress = opts.Progress
+	results, err := campaign.Run(ctx, "leakscan-"+opts.Name, cells, copts)
+	if err != nil {
+		return nil, err
+	}
 
 	rep := &Report{
 		Schema:     ReportSchema,
@@ -113,7 +148,11 @@ func Scan(ctx context.Context, specs []AttackSpec, opts ScanOptions) (*Report, e
 					}
 					continue
 				}
-				lats = append(lats, tr.Value.([]uint64))
+				var trial []uint64
+				if err := json.Unmarshal(tr.Value, &trial); err != nil {
+					return nil, fmt.Errorf("leakage: decoding journaled trial %s: %w", tr.Name, err)
+				}
+				lats = append(lats, trial)
 			}
 			a := Analyze(lats, int(s.Secret), th)
 			expected := s.Expect(d)
@@ -146,6 +185,12 @@ func Scan(ctx context.Context, specs []AttackSpec, opts ScanOptions) (*Report, e
 			rep.Cells = append(rep.Cells, cell)
 		}
 	}
+	rep.Degraded = campaign.Degraded(results, func(o campaign.Outcome) string {
+		if opts.Repro == nil {
+			return ""
+		}
+		return opts.Repro(cellSpecs[o.Index])
+	})
 	return rep, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"invisispec/internal/artifact"
 	"invisispec/internal/config"
 	"invisispec/internal/stats"
 )
@@ -77,7 +78,12 @@ type Bench struct {
 	Warmup  uint64     `json:"warmup"`
 	Measure uint64     `json:"measure"`
 	Runs    []BenchRun `json:"runs"`
-	Host    *BenchHost `json:"host,omitempty"`
+	// Degraded lists the matrix cells whose jobs exhausted their retry
+	// budget (campaign graceful degradation): the sweep completed without
+	// them, the CLI exits non-zero, and each entry carries a ready-to-run
+	// repro command.
+	Degraded []artifact.DegradedCell `json:"degraded,omitempty"`
+	Host     *BenchHost              `json:"host,omitempty"`
 }
 
 // benchKey groups runs that normalize against the same Base measurement.

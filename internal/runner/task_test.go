@@ -3,6 +3,8 @@ package runner
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -122,6 +124,91 @@ func TestRunTasksCancellation(t *testing.T) {
 	if notStarted == 0 {
 		t.Error("expected some tasks to fail before starting")
 	}
+}
+
+// TestRunTasksPartialFailureStatuses pins the partial-failure contract in one
+// table: a mixed campaign of ok / error / panic / timeout / cancelled tasks
+// always yields len(tasks) results, each failure mode is addressable by its
+// submission index, and no failure leaks into a neighbouring slot.
+func TestRunTasksPartialFailureStatuses(t *testing.T) {
+	boom := errors.New("boom")
+	inner, cancelInner := context.WithCancel(context.Background())
+	cancelInner() // the "cancelled" task observes an already-dead context
+	tasks := []Task{
+		{Name: "ok", Run: func(ctx context.Context) (any, error) { return 42, nil }},
+		{Name: "err", Run: func(ctx context.Context) (any, error) { return nil, boom }},
+		{Name: "panic", Run: func(ctx context.Context) (any, error) { panic("kaboom") }},
+		{Name: "timeout", Timeout: 5 * time.Millisecond, Run: func(ctx context.Context) (any, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}},
+		{Name: "cancelled", Run: func(ctx context.Context) (any, error) { return nil, inner.Err() }},
+		{Name: "ok2", Run: func(ctx context.Context) (any, error) { return "after", nil }},
+	}
+	// Jobs: 1 serializes the pool, so the panic and timeout demonstrably do
+	// not poison later tasks on the same worker.
+	results := RunTasks(context.Background(), tasks, Options{Jobs: 1})
+	if len(results) != len(tasks) {
+		t.Fatalf("got %d results, want %d", len(results), len(tasks))
+	}
+	for i, r := range results {
+		if r.Index != i || r.Name != tasks[i].Name {
+			t.Fatalf("slot %d: index %d name %q — results not index-addressed", i, r.Index, r.Name)
+		}
+	}
+	check := func(i int, wantErr func(error) bool, desc string) {
+		t.Helper()
+		if !wantErr(results[i].Err) {
+			t.Errorf("slot %d (%s): err = %v, want %s", i, tasks[i].Name, results[i].Err, desc)
+		}
+	}
+	check(0, func(e error) bool { return e == nil && results[0].Value == 42 }, "nil with value 42")
+	check(1, func(e error) bool { return errors.Is(e, boom) }, "wrapped boom")
+	check(2, func(e error) bool { return e != nil && strings.Contains(e.Error(), "panic: kaboom") }, "recovered panic")
+	check(3, func(e error) bool { return errors.Is(e, context.DeadlineExceeded) }, "deadline exceeded")
+	check(4, func(e error) bool { return errors.Is(e, context.Canceled) }, "context.Canceled")
+	check(5, func(e error) bool { return e == nil && results[5].Value == "after" }, `nil with value "after"`)
+	for i, r := range results {
+		if r.Err != nil && !strings.Contains(r.Err.Error(), tasks[i].Name) {
+			t.Errorf("slot %d error %q does not name its task %q", i, r.Err, tasks[i].Name)
+		}
+	}
+}
+
+// TestRunTasksCancellationNoLeaks: cancelling mid-campaign fails every
+// unfinished slot and leaves no worker or task goroutine behind once
+// RunTasks returns.
+func TestRunTasksCancellationNoLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	tasks := make([]Task, 32)
+	for i := range tasks {
+		tasks[i] = Task{
+			Name: fmt.Sprintf("block-%d", i),
+			Run: func(c context.Context) (any, error) {
+				started.Add(1)
+				<-c.Done() // block until cancelled; never finish on its own
+				return nil, c.Err()
+			},
+		}
+	}
+	done := make(chan []TaskResult)
+	go func() { done <- RunTasks(ctx, tasks, Options{Jobs: 4}) }()
+	for started.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	results := <-done
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("slot %d completed despite cancellation", i)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("slot %d: err = %v, want wrapped context.Canceled", i, r.Err)
+		}
+	}
+	waitForGoroutines(t, base)
 }
 
 func TestRunTasksEmpty(t *testing.T) {

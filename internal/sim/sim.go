@@ -290,6 +290,7 @@ func (m *Machine) CheckNow() error {
 		return nil
 	}
 	t := &invariant.Target{Cycle: m.cycle, Run: m.Run, Cores: m.Cores, Hier: m.Hier}
+	t.FFJumps, t.FFSkipped = m.FastForwardStats()
 	if err := m.checker.Check(t); err != nil {
 		return err
 	}
