@@ -7,37 +7,62 @@
 
 GO ?= go
 JOBS ?= 4
+BIN = bin
 SMOKE_FLAGS = -fig 4 -warmup 5000 -measure 20000 -jobs $(JOBS) -quiet
 
-.PHONY: all build test vet race check ci bench smoke benchdiff baseline leakscan kernelcheck conform chaos
+.PHONY: all build tools test vet lint race check ci bench smoke benchdiff baseline leakscan kernelcheck conform chaos
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# Build the CLI gates once into $(BIN); the leakscan/conform/smoke targets
+# run these binaries instead of `go run`, so one compile serves every gate.
+tools:
+	$(GO) build -o $(BIN)/ ./cmd/benchtable ./cmd/benchdiff ./cmd/leakscan ./cmd/conformfuzz
+
 vet:
 	$(GO) vet ./...
+
+# Static analysis gate: vet + gofmt cleanliness + staticcheck. staticcheck
+# is skipped with a notice when the binary is absent (local machines without
+# it); CI installs a pinned version so the job always runs it.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$unformatted"; exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs the pinned version)"; \
+	fi
 
 # Fast, race-free test run for local iteration.
 test:
 	$(GO) test ./...
 
-# Canonical test run: the full suite under the race detector.
+# Canonical test run: the full suite under the race detector. This single
+# pass already includes the kernel-equivalence oracle and the chaos
+# self-tests; the kernelcheck/chaos targets below re-run just those subsets
+# for focused iteration.
 race:
 	$(GO) test -race ./...
 
 check: build vet race
 
 # What CI invokes; kept separate from `check` so CI-only steps can be
-# attached without changing the local gate.
-ci: check kernelcheck chaos leakscan conform
+# attached without changing the local gate. One race-instrumented suite
+# pass (inside check) covers kernelcheck and chaos; the CLI gates reuse
+# the binaries `tools` built.
+ci: check lint leakscan conform
 
 # Resilience gate: the seeded chaos self-tests kill journaled bench,
 # leakage, and conformance campaigns at randomized checkpoint appends
 # (torn tail included), inject transient faults, resume, and assert the
 # final deterministic payload is byte-identical to an uninterrupted run
-# at 1 and 4 workers.
+# at 1 and 4 workers. (Also runs as part of `make race`.)
 chaos:
 	$(GO) test -run 'TestChaos' -count=1 ./internal/campaign ./internal/leakage ./internal/conform
 
@@ -47,6 +72,7 @@ bench:
 # Kernel-equivalence gate: the fast-forward scheduler must produce
 # byte-identical fingerprints to the cycle-by-cycle reference stepper across
 # the whole equivalence matrix (fault seeds, checking, interrupts included).
+# (Also runs as part of `make race`.)
 kernelcheck:
 	$(GO) test -run 'TestKernelEquivalence|TestKernelSwitchMidRun' -count=1 ./internal/sim
 
@@ -55,19 +81,20 @@ kernelcheck:
 # -comparekernels re-runs the sweep under the stepped kernel, fails on any
 # divergence, and records both kernels' wall time in the artifact's host
 # block so benchdiff trajectories show the fast-forward speedup.
-smoke:
-	$(GO) run ./cmd/benchtable $(SMOKE_FLAGS) -comparekernels -benchjson BENCH_smoke.json -benchname smoke
+smoke: tools
+	$(BIN)/benchtable $(SMOKE_FLAGS) -comparekernels -benchjson BENCH_smoke.json -benchname smoke
 
 benchdiff: smoke
-	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_smoke.json
+	$(BIN)/benchdiff BENCH_baseline.json BENCH_smoke.json
 
 # Security regression gate: scan the fixed smoke corpus of transient
-# attacks against every defense and fail if any secure configuration
-# leaks, any expected leak (undefended Base, designed threat-model gaps)
-# stops leaking, or any trial errors. Writes the deterministic
-# leakage-report/v1 artifact CI uploads next to the bench artifact.
-leakscan:
-	$(GO) run ./cmd/leakscan -corpus smoke -trials 3 -jobs $(JOBS) -json LEAKAGE_smoke.json
+# attacks against every registered defense and fail if any secure
+# configuration leaks, any expected leak (undefended Base, designed
+# threat-model gaps) stops leaking, or any trial errors. Writes the
+# deterministic leakage-report/v1 artifact CI uploads next to the bench
+# artifact.
+leakscan: tools
+	$(BIN)/leakscan -corpus smoke -trials 3 -jobs $(JOBS) -json LEAKAGE_smoke.json
 
 # Conformance-fuzzing gate: a fixed-seed campaign of generated programs
 # differentially checked against the golden interpreter across the full
@@ -75,11 +102,11 @@ leakscan:
 # the deterministic conform-report/v1 artifact CI uploads. Minimized
 # reproducers for past finds live in internal/conform/corpus and run with
 # the normal test suite.
-conform:
-	$(GO) run ./cmd/conformfuzz -seed 1 -n 200 -jobs $(JOBS) -q -shrink -json CONFORM_smoke.json
+conform: tools
+	$(BIN)/conformfuzz -seed 1 -n 200 -jobs $(JOBS) -q -shrink -json CONFORM_smoke.json
 
 # Regenerate the committed baseline (host block omitted so the artifact is
 # byte-stable across machines). Run after intentional timing-model changes,
 # and sanity-check the diff before committing.
-baseline:
-	$(GO) run ./cmd/benchtable $(SMOKE_FLAGS) -benchjson BENCH_baseline.json -benchname smoke -benchhost=false
+baseline: tools
+	$(BIN)/benchtable $(SMOKE_FLAGS) -benchjson BENCH_baseline.json -benchname smoke -benchhost=false

@@ -69,7 +69,7 @@ func benchSuite(b *testing.B, names []string, parsec bool) {
 }
 
 // BenchmarkRunnerFig4 runs the full Figure-4 TSO matrix (all SPEC kernels x
-// five defenses) through the worker pool. Host time is the metric: run with
+// every registered defense) through the worker pool. Host time is the metric: run with
 // -cpu 1,4,8 to see the pool's wall-clock scaling on the exact workload the
 // figure generator shards (the ISSUE-2 acceptance measurement).
 func BenchmarkRunnerFig4(b *testing.B) {

@@ -7,7 +7,7 @@
 // Two families of checks run:
 //
 //   - Shape fidelity (candidate only): within every (workload, consistency,
-//     fault-seed) group that carries all five Table V configs, the insecure
+//     fault-seed) group that carries every registered defense, the insecure
 //     Base must be the fastest config; and averaged across each
 //     consistency model's complete groups (the figures' bottom rows),
 //     InvisiSpec-Spectre must beat Fence-Spectre and InvisiSpec-Future must

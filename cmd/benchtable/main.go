@@ -46,6 +46,7 @@ var (
 	warmup  = flag.Uint64("warmup", 20000, "warmup instructions per run")
 	measure = flag.Uint64("measure", 100000, "measured instructions per run")
 	names   = flag.String("names", "", "comma-separated workload subset (default: all)")
+	defsF   = flag.String("defenses", "", "comma-separated defense-scheme subset (default: all registered; see invisisim -listdefenses); figures need Base in the subset for normalization")
 	csvPath = flag.String("csv", "", "also write every raw measurement to this CSV file")
 	jobsN   = flag.Int("jobs", runtime.NumCPU(), "parallel simulation jobs (worker pool size)")
 	seedsF  = flag.String("faultseeds", "", "comma-separated fault-injection seeds: adds a seed axis to the matrix (0 or empty = fault-free)")
@@ -325,6 +326,25 @@ func firstSeed() int64 {
 	return 0
 }
 
+// selectDefenses resolves -defenses through the registry. The figures
+// normalize against Base, so the subset must include it there.
+func selectDefenses(needBase bool) []config.Defense {
+	defs, err := config.ParseDefenses(*defsF)
+	if err != nil {
+		fail(err)
+	}
+	if needBase {
+		hasBase := false
+		for _, d := range defs {
+			hasBase = hasBase || d == config.Base
+		}
+		if !hasBase {
+			fail(fmt.Errorf("-defenses %q: figures normalize against Base; include it in the subset", *defsF))
+		}
+	}
+	return defs
+}
+
 func selectNames(parsec bool) []string {
 	all := workload.SPECNames()
 	if parsec {
@@ -340,10 +360,19 @@ func selectNames(parsec bool) []string {
 	return out
 }
 
+// colWidth sizes a column for its heading: the classic 8-character figure
+// column unless the defense name (e.g. BasicBlocker) needs more.
+func colWidth(c string) int {
+	if len(c)+1 > 8 {
+		return len(c) + 1
+	}
+	return 8
+}
+
 func header(cols []string) {
 	fmt.Printf("%-12s", "workload")
 	for _, c := range cols {
-		fmt.Printf("%8s", c)
+		fmt.Printf("%*s", colWidth(c), c)
 	}
 	fmt.Println()
 }
@@ -361,7 +390,7 @@ func group(results []runner.JobResult) map[groupKey]map[config.Defense]harness.R
 	for _, r := range results {
 		k := groupKey{r.Job.Workload, r.Job.Consistency, r.Job.FaultSeed}
 		if out[k] == nil {
-			out[k] = make(map[config.Defense]harness.Result, 5)
+			out[k] = make(map[config.Defense]harness.Result, len(config.AllDefenses()))
 		}
 		out[k][r.Job.Defense] = r.Result
 	}
@@ -381,7 +410,7 @@ func execTimeFigure(parsec bool) {
 		which = 7
 		suite = "PARSEC"
 	}
-	defs := config.AllDefenses()
+	defs := selectDefenses(true)
 	ns := selectNames(parsec)
 	res := group(runMatrix(
 		runner.Matrix(ns, parsec, bothModels, defs, seedAxis(), *warmup, *measure),
@@ -406,7 +435,7 @@ func execTimeFigure(parsec bool) {
 			if cm == config.TSO {
 				fmt.Printf("%-12s", name)
 				for _, d := range defs {
-					fmt.Printf("%8.2f", norm[d])
+					fmt.Printf("%*.2f", colWidth(d.String()), norm[d])
 				}
 				fmt.Println()
 			}
@@ -425,17 +454,27 @@ func trafficFigure(parsec bool) {
 		which = 8
 		suite = "PARSEC"
 	}
-	defs := config.AllDefenses()
+	defs := selectDefenses(true)
 	ns := selectNames(parsec)
 	res := group(runMatrix(
 		runner.Matrix(ns, parsec, bothModels, defs, seedAxis(), *warmup, *measure),
 		fmt.Sprintf("fig%d", which)))
 
 	fmt.Printf("Figure %d: normalized network traffic, %s\n", which, suite)
-	fmt.Printf("(spec%%/ve%% = share of the InvisiSpec config's bytes from Spec-GetS / expose+validate;\n")
+	fmt.Printf("(spec%%/ve%% = share of the invisible-load config's bytes from Spec-GetS / expose+validate;\n")
 	fmt.Printf(" rows where the baseline moves almost no bytes — fully cache-resident kernels —\n")
 	fmt.Printf(" normalize against a floor of 1/16 B/instr and read as ~0)\n\n")
-	cols := append([]string{}, "Base", "Fe-Sp", "IS-Sp", "spec%", "ve%", "Fe-Fu", "IS-Fu", "spec%", "ve%")
+	// Column layout follows the defense axis: every invisible-load scheme
+	// gets its Spec-GetS and expose/validate share columns right after its
+	// normalized-traffic column, so a newly registered scheme lands in the
+	// figure without a layout edit.
+	var cols []string
+	for _, d := range defs {
+		cols = append(cols, d.String())
+		if d.UsesInvisiSpec() {
+			cols = append(cols, "spec%", "ve%")
+		}
+	}
 	header(cols)
 
 	sums := map[config.Consistency]map[config.Defense]float64{
@@ -456,14 +495,16 @@ func trafficFigure(parsec bool) {
 					}
 					return 100 * float64(r.Traffic[tc]) / float64(r.TotalTraffic())
 				}
-				fmt.Printf("%-12s%8.2f%8.2f%8.2f%8.1f%8.1f%8.2f%8.2f%8.1f%8.1f\n",
-					name, norm[config.Base], norm[config.FenceSpectre],
-					norm[config.ISSpectre],
-					share(config.ISSpectre, stats.TrafficSpecLoad),
-					share(config.ISSpectre, stats.TrafficValExp),
-					norm[config.FenceFuture], norm[config.ISFuture],
-					share(config.ISFuture, stats.TrafficSpecLoad),
-					share(config.ISFuture, stats.TrafficValExp))
+				fmt.Printf("%-12s", name)
+				for _, d := range defs {
+					fmt.Printf("%*.2f", colWidth(d.String()), norm[d])
+					if d.UsesInvisiSpec() {
+						fmt.Printf("%8.1f%8.1f",
+							share(d, stats.TrafficSpecLoad),
+							share(d, stats.TrafficValExp))
+					}
+				}
+				fmt.Println()
 			}
 		}
 	}
@@ -473,12 +514,12 @@ func trafficFigure(parsec bool) {
 func printAverages(defs []config.Defense, sums map[config.Consistency]map[config.Defense]float64, n float64) {
 	fmt.Printf("%-12s", "average")
 	for _, d := range defs {
-		fmt.Printf("%8.2f", sums[config.TSO][d]/n)
+		fmt.Printf("%*.2f", colWidth(d.String()), sums[config.TSO][d]/n)
 	}
 	fmt.Println()
 	fmt.Printf("%-12s", "RC-average")
 	for _, d := range defs {
-		fmt.Printf("%8.2f", sums[config.RC][d]/n)
+		fmt.Printf("%*.2f", colWidth(d.String()), sums[config.RC][d]/n)
 	}
 	fmt.Println()
 }

@@ -25,6 +25,7 @@ import (
 
 	"invisispec/internal/artifact"
 	"invisispec/internal/campaign"
+	"invisispec/internal/config"
 	"invisispec/internal/conform"
 )
 
@@ -52,6 +53,7 @@ func run() int {
 		evals   = flag.Int("shrink-evals", 2000, "oracle budget per shrink")
 		jsonOut = flag.String("json", "", "write the full report artifact to this file")
 		quiet   = flag.Bool("q", false, "suppress per-program progress")
+		defsF   = flag.String("defenses", "", "comma-separated defense-scheme subset for the configuration matrix (default: all registered; see invisisim -listdefenses)")
 	)
 	copts := campaign.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -63,6 +65,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "conformfuzz: -only %d out of range (n=%d)\n", *only, *n)
 		return 2
 	}
+	defs, err := config.ParseDefenses(*defsF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conformfuzz:", err)
+		return 2
+	}
 
 	opts := conform.Options{
 		Seed:           *seed,
@@ -71,6 +78,9 @@ func run() int {
 		Shrink:         *shrink,
 		MaxShrinkEvals: *evals,
 		Campaign:       copts(),
+	}
+	if *defsF != "" {
+		opts.Defenses = defs
 	}
 	if *only >= 0 {
 		opts.Indices = []int{*only}

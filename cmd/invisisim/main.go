@@ -32,11 +32,12 @@ import (
 func main() {
 	var (
 		name        = flag.String("workload", "sjeng", "SPEC or PARSEC kernel name (see -list)")
-		defense     = flag.String("defense", "Base", "Base | Fe-Sp | IS-Sp | Fe-Fu | IS-Fu")
+		defense     = flag.String("defense", "Base", "defense scheme name (see -listdefenses)")
 		consistency = flag.String("consistency", "TSO", "TSO | RC")
 		warmup      = flag.Uint64("warmup", 20000, "warmup instructions (excluded from stats)")
 		measure     = flag.Uint64("measure", 100000, "measured instructions")
 		list        = flag.Bool("list", false, "list workloads and exit")
+		listDef     = flag.Bool("listdefenses", false, "list registered defense schemes (one name per line) and exit")
 		printConfig = flag.Bool("print-config", false, "print the Table IV machine parameters and exit")
 		traceN      = flag.Int("trace", 0, "print the first N committed instructions of core 0")
 		jsonOut     = flag.Bool("json", false, "emit the measured counters as JSON instead of text")
@@ -56,6 +57,14 @@ func main() {
 		fmt.Println("PARSEC-like kernels (8 cores):")
 		for _, n := range workload.PARSECNames() {
 			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+	if *listDef {
+		// Bare names on stdout: CI generates its defense-matrix strategy
+		// from this output, so it must stay machine-readable.
+		for _, d := range config.AllDefenses() {
+			fmt.Println(d)
 		}
 		return
 	}
@@ -201,12 +210,7 @@ func check(err error) {
 }
 
 func parseDefense(s string) (config.Defense, error) {
-	for _, d := range config.AllDefenses() {
-		if d.String() == s {
-			return d, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown defense %q", s)
+	return config.ParseDefense(s)
 }
 
 func parseConsistency(s string) (config.Consistency, error) {

@@ -35,6 +35,7 @@ import (
 
 	"invisispec/internal/artifact"
 	"invisispec/internal/campaign"
+	"invisispec/internal/config"
 	"invisispec/internal/leakage"
 )
 
@@ -60,9 +61,16 @@ func main() {
 		name     = flag.String("name", "", "report name (defaults to the corpus name)")
 		host     = flag.Bool("host", false, "include the nondeterministic host block in the JSON artifact")
 		verbose  = flag.Bool("v", false, "print per-cell progress lines to stderr")
+		defsF    = flag.String("defenses", "", "comma-separated defense-scheme subset for the matrix columns (default: all registered; see invisisim -listdefenses)")
 	)
 	copts := campaign.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	defs, err := config.ParseDefenses(*defsF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakscan:", err)
+		os.Exit(2)
+	}
 
 	var specs []leakage.AttackSpec
 	switch *corpus {
@@ -80,6 +88,7 @@ func main() {
 	}
 
 	opts := leakage.ScanOptions{
+		Defenses: defs,
 		Trials:   *trials,
 		Jobs:     *jobs,
 		Timeout:  *timeout,

@@ -109,7 +109,7 @@ type RemoteError struct {
 	Class Class
 }
 
-func (e *RemoteError) Error() string       { return e.Msg }
+func (e *RemoteError) Error() string        { return e.Msg }
 func (e *RemoteError) campaignClass() Class { return e.Class }
 
 // PanicError is a panic recovered inside an in-process cell run. The

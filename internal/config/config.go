@@ -1,13 +1,17 @@
 // Package config defines the simulated machine parameters (Table IV of the
-// paper) and the five processor configurations evaluated (Table V), plus the
-// memory consistency model selection and InvisiSpec feature toggles used by
-// the ablation benchmarks.
+// paper) and the processor-configuration selection, plus the memory
+// consistency model selection and InvisiSpec feature toggles used by the
+// ablation benchmarks. Defense names resolve through the internal/defense
+// registry: the paper's five Table V configurations plus every registered
+// countermeasure scheme.
 package config
 
 import (
 	"fmt"
+	"strings"
 
 	"invisispec/internal/bpred"
+	"invisispec/internal/defense"
 )
 
 // Consistency selects the memory consistency model the core implements.
@@ -30,45 +34,100 @@ func (c Consistency) String() string {
 	return fmt.Sprintf("Consistency(%d)", int(c))
 }
 
-// Defense selects the processor configuration (Table V).
-type Defense int
+// Defense selects the processor configuration by registered scheme name.
+// The value is the internal/defense registry key; the constants below name
+// the built-in schemes. An unregistered value fails Scheme() (and so
+// sim.New) with the registry's descriptive error.
+type Defense string
 
-// The five processor configurations of Table V.
+// The five processor configurations of Table V, plus the two drop-in
+// countermeasures that prove the framework.
 const (
-	Base         Defense = iota // conventional, insecure baseline
-	FenceSpectre                // fence after every indirect/conditional branch
-	ISSpectre                   // InvisiSpec-Spectre
-	FenceFuture                 // fence before every load
-	ISFuture                    // InvisiSpec-Future
+	Base         Defense = "Base"         // conventional, insecure baseline
+	FenceSpectre Defense = "Fe-Sp"        // fence after every indirect/conditional branch
+	ISSpectre    Defense = "IS-Sp"        // InvisiSpec-Spectre
+	FenceFuture  Defense = "Fe-Fu"        // fence before every load
+	ISFuture     Defense = "IS-Fu"        // InvisiSpec-Future
+	SpecBox      Defense = "SpecBox"      // label-based speculative-fill quarantine
+	BasicBlocker Defense = "BasicBlocker" // ISA-assisted basic-block speculation control
 )
 
-// String returns the short name used in the paper's figures.
+// String returns the short name used in the paper's figures (the registry
+// key itself).
 func (d Defense) String() string {
-	switch d {
-	case Base:
-		return "Base"
-	case FenceSpectre:
-		return "Fe-Sp"
-	case ISSpectre:
-		return "IS-Sp"
-	case FenceFuture:
-		return "Fe-Fu"
-	case ISFuture:
-		return "IS-Fu"
+	if d == "" {
+		return "Defense(unset)"
 	}
-	return fmt.Sprintf("Defense(%d)", int(d))
+	return string(d)
 }
 
-// AllDefenses lists the configurations in figure order.
+// Scheme resolves the defense through the registry.
+func (d Defense) Scheme() (defense.Defense, error) {
+	return defense.Lookup(string(d))
+}
+
+// MustScheme resolves the defense, panicking on unregistered names.
+// Construction paths that accept external input (sim.New, the CLIs)
+// validate with Scheme or ParseDefense first.
+func (d Defense) MustScheme() defense.Defense {
+	s, err := d.Scheme()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AllDefenses lists every registered configuration in matrix order: the
+// five Table V configurations first, then later-registered schemes.
 func AllDefenses() []Defense {
-	return []Defense{Base, FenceSpectre, ISSpectre, FenceFuture, ISFuture}
+	all := defense.All()
+	out := make([]Defense, len(all))
+	for i, s := range all {
+		out[i] = Defense(s.Name())
+	}
+	return out
 }
 
-// UsesInvisiSpec reports whether the configuration uses speculative buffers.
-func (d Defense) UsesInvisiSpec() bool { return d == ISSpectre || d == ISFuture }
+// ParseDefense resolves a scheme name from a CLI flag, with the registry's
+// known-names error on failure.
+func ParseDefense(s string) (Defense, error) {
+	if _, err := defense.Lookup(s); err != nil {
+		return "", err
+	}
+	return Defense(s), nil
+}
+
+// ParseDefenses resolves a comma-separated list of scheme names; an empty
+// list means every registered defense. Order and duplicates are preserved
+// (a sweep may deliberately repeat a scheme).
+func ParseDefenses(csv string) ([]Defense, error) {
+	if strings.TrimSpace(csv) == "" {
+		return AllDefenses(), nil
+	}
+	var out []Defense
+	for _, part := range strings.Split(csv, ",") {
+		d, err := ParseDefense(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// UsesInvisiSpec reports whether the configuration issues speculative
+// loads through the speculative-buffer machinery. Unregistered values
+// report false.
+func (d Defense) UsesInvisiSpec() bool {
+	s, err := d.Scheme()
+	return err == nil && s.UsesInvisibleLoads()
+}
 
 // UsesFences reports whether the configuration inserts defensive fences.
-func (d Defense) UsesFences() bool { return d == FenceSpectre || d == FenceFuture }
+func (d Defense) UsesFences() bool {
+	s, err := d.Scheme()
+	return err == nil && (s.FenceBeforeLoads() || s.FenceAfterBranches())
+}
 
 // CacheParams sizes one cache level.
 type CacheParams struct {

@@ -42,10 +42,18 @@ func TestValidateRejections(t *testing.T) {
 }
 
 func TestDefenseClassification(t *testing.T) {
-	if len(AllDefenses()) != 5 {
+	if len(AllDefenses()) != 7 {
 		t.Fatalf("defense count = %d", len(AllDefenses()))
 	}
-	wantIS := map[Defense]bool{ISSpectre: true, ISFuture: true}
+	// The five Table V configurations must come first, in figure order,
+	// so committed artifacts and figure columns stay stable.
+	wantOrder := []Defense{Base, FenceSpectre, ISSpectre, FenceFuture, ISFuture, SpecBox, BasicBlocker}
+	for i, d := range AllDefenses() {
+		if d != wantOrder[i] {
+			t.Errorf("AllDefenses()[%d] = %v, want %v", i, d, wantOrder[i])
+		}
+	}
+	wantIS := map[Defense]bool{ISSpectre: true, ISFuture: true, SpecBox: true}
 	wantFence := map[Defense]bool{FenceSpectre: true, FenceFuture: true}
 	for _, d := range AllDefenses() {
 		if d.UsesInvisiSpec() != wantIS[d] {
@@ -54,6 +62,32 @@ func TestDefenseClassification(t *testing.T) {
 		if d.UsesFences() != wantFence[d] {
 			t.Errorf("%v UsesFences = %v", d, d.UsesFences())
 		}
+	}
+}
+
+func TestParseDefense(t *testing.T) {
+	for _, d := range AllDefenses() {
+		got, err := ParseDefense(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDefense(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDefense("NoSuchScheme"); err == nil {
+		t.Error("ParseDefense accepted an unregistered name")
+	}
+	if _, err := Defense("NoSuchScheme").Scheme(); err == nil {
+		t.Error("Scheme() resolved an unregistered name")
+	}
+	all, err := ParseDefenses("")
+	if err != nil || len(all) != len(AllDefenses()) {
+		t.Errorf("ParseDefenses(\"\") = %v, %v", all, err)
+	}
+	got, err := ParseDefenses(" Base , IS-Fu ")
+	if err != nil || len(got) != 2 || got[0] != Base || got[1] != ISFuture {
+		t.Errorf("ParseDefenses(\" Base , IS-Fu \") = %v, %v", got, err)
+	}
+	if _, err := ParseDefenses("Base,NoSuchScheme"); err == nil {
+		t.Error("ParseDefenses accepted an unregistered name")
 	}
 }
 
@@ -69,7 +103,7 @@ func TestStrings(t *testing.T) {
 	if TSO.String() != "TSO" || RC.String() != "RC" {
 		t.Error("consistency names wrong")
 	}
-	if Defense(99).String() == "" || Consistency(99).String() == "" {
+	if Defense("").String() == "" || Consistency(99).String() == "" {
 		t.Error("out-of-range values must still print")
 	}
 	r := Run{Machine: Default(1), Defense: ISFuture, Consistency: RC}

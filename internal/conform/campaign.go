@@ -19,6 +19,7 @@ import (
 
 	"invisispec/internal/artifact"
 	"invisispec/internal/campaign"
+	"invisispec/internal/config"
 )
 
 // ReportSchema identifies the campaign artifact format.
@@ -32,6 +33,9 @@ type Options struct {
 	// Indices restricts the campaign to specific program indices (the
 	// -only flag); nil means 0..N-1.
 	Indices []int
+	// Defenses restricts the per-program configuration matrix to a defense
+	// subset (the -defenses flag); nil means every registered scheme.
+	Defenses []config.Defense
 	// Shrink minimizes every diverging program and embeds the minimized
 	// listing and a ready-to-commit corpus test in the report.
 	Shrink         bool
@@ -55,6 +59,10 @@ type ProgSpec struct {
 	Index          int    `json:"index"`
 	Shrink         bool   `json:"shrink,omitempty"`
 	MaxShrinkEvals int    `json:"max_shrink_evals,omitempty"`
+	// Defenses restricts the configuration matrix to these registry names
+	// (nil: every registered scheme). Part of the spec — and therefore the
+	// journal identity — because the cell's outcome depends on it.
+	Defenses []string `json:"defenses,omitempty"`
 }
 
 // ProgramResult is one program's deterministic outcome.
@@ -120,7 +128,15 @@ func RunProgSpec(ctx context.Context, s ProgSpec) (ProgramResult, error) {
 		return res, nil
 	}
 	res.Retired, res.Faults = ref.Retired, ref.Faults
-	for _, cfg := range Configs() {
+	cfgs, err := s.configs()
+	if err != nil {
+		// A stale journal or hand-edited spec naming an unregistered
+		// scheme is a deterministic input error, not a transient failure:
+		// embed it so the retry policy never re-runs the cell.
+		res.Error = err.Error()
+		return res, nil
+	}
+	for _, cfg := range cfgs {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
@@ -134,7 +150,7 @@ func RunProgSpec(ctx context.Context, s ProgSpec) (ProgramResult, error) {
 	// Minimize against the first diverging configuration: one oracle
 	// evaluation is then a single golden run plus a single simulation.
 	var first Config
-	for _, cfg := range Configs() {
+	for _, cfg := range cfgs {
 		if cfg.String() == res.Divergences[0].Config {
 			first = cfg
 		}
@@ -150,6 +166,23 @@ func RunProgSpec(ctx context.Context, s ProgSpec) (ProgramResult, error) {
 	res.Minimized = Listing(min)
 	res.ReproGo = EmitGoTest(fmt.Sprintf("Seed%x", seed), res.Divergences[0].Config+": "+res.Divergences[0].Reason, min)
 	return res, nil
+}
+
+// configs resolves the spec's defense subset to the configuration matrix
+// (nil: the full registered matrix).
+func (s ProgSpec) configs() ([]Config, error) {
+	if len(s.Defenses) == 0 {
+		return Configs(), nil
+	}
+	defs := make([]config.Defense, len(s.Defenses))
+	for i, n := range s.Defenses {
+		d, err := config.ParseDefense(n)
+		if err != nil {
+			return nil, err
+		}
+		defs[i] = d
+	}
+	return ConfigsFor(defs), nil
 }
 
 // indices resolves Options.Indices (nil means every program).
@@ -172,9 +205,16 @@ func (o Options) indices() []int {
 // injected chaos kill); per-program failures degrade into the report.
 func Campaign(ctx context.Context, opts Options) (*Report, error) {
 	idxs := opts.indices()
+	var defNames []string
+	for _, d := range opts.Defenses {
+		if _, err := d.Scheme(); err != nil {
+			return nil, err
+		}
+		defNames = append(defNames, d.String())
+	}
 	cells := make([]campaign.Cell, len(idxs))
 	for i, idx := range idxs {
-		spec := ProgSpec{CampaignSeed: opts.Seed, Index: idx, Shrink: opts.Shrink, MaxShrinkEvals: opts.MaxShrinkEvals}
+		spec := ProgSpec{CampaignSeed: opts.Seed, Index: idx, Shrink: opts.Shrink, MaxShrinkEvals: opts.MaxShrinkEvals, Defenses: defNames}
 		cells[i] = campaign.Cell{
 			Name:    fmt.Sprintf("conform-%d", idx),
 			Spec:    spec,
@@ -193,8 +233,12 @@ func Campaign(ctx context.Context, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	matrix := Configs()
+	if len(opts.Defenses) > 0 {
+		matrix = ConfigsFor(opts.Defenses)
+	}
 	var cfgNames []string
-	for _, c := range Configs() {
+	for _, c := range matrix {
 		cfgNames = append(cfgNames, c.String())
 	}
 	rep := &Report{
@@ -225,7 +269,7 @@ func Campaign(ctx context.Context, opts Options) (*Report, error) {
 		}
 	}
 	rep.Degraded = campaign.Degraded(outcomes, func(o campaign.Outcome) string {
-		spec := ProgSpec{CampaignSeed: opts.Seed, Index: idxs[o.Index], Shrink: opts.Shrink, MaxShrinkEvals: opts.MaxShrinkEvals}
+		spec := ProgSpec{CampaignSeed: opts.Seed, Index: idxs[o.Index], Shrink: opts.Shrink, MaxShrinkEvals: opts.MaxShrinkEvals, Defenses: defNames}
 		if opts.Repro != nil {
 			return opts.Repro(spec)
 		}

@@ -1,0 +1,71 @@
+package conform
+
+import (
+	"testing"
+
+	"invisispec/internal/config"
+	"invisispec/internal/engine"
+)
+
+// TestMatrixCoversAllRegisteredDefenses pins the auto-expansion property:
+// every registered defense scheme appears in the conformance matrix under
+// both consistency models and both simulation kernels, with no per-matrix
+// edit when a scheme registers.
+func TestMatrixCoversAllRegisteredDefenses(t *testing.T) {
+	all := config.AllDefenses()
+	want := len(all) * 2 * 2
+	cfgs := Configs()
+	if len(cfgs) != want {
+		t.Fatalf("matrix has %d configs, want %d (%d defenses x 2 models x 2 kernels)",
+			len(cfgs), want, len(all))
+	}
+	type cell struct {
+		d config.Defense
+		c config.Consistency
+		k engine.Kernel
+	}
+	seen := map[cell]bool{}
+	for _, cfg := range cfgs {
+		seen[cell{cfg.Defense, cfg.Consistency, cfg.Kernel}] = true
+	}
+	for _, d := range all {
+		for _, cm := range []config.Consistency{config.TSO, config.RC} {
+			for _, k := range []engine.Kernel{engine.KernelFast, engine.KernelStepped} {
+				if !seen[cell{d, cm, k}] {
+					t.Errorf("matrix is missing %s/%s/%s", d, cm, k)
+				}
+			}
+		}
+	}
+}
+
+// TestNewSchemesConformOnFixedCorpus runs the post-paper schemes (SpecBox,
+// BasicBlocker) explicitly against the golden interpreter on a fixed set of
+// generated programs, under TSO/RC x stepped/fast. RequireConformance in the
+// corpus reproducers covers them too (via the expanded matrix), but this
+// test keeps the guarantee visible even if the matrix iteration changes:
+// speculation-window policy must never alter architectural results.
+func TestNewSchemesConformOnFixedCorpus(t *testing.T) {
+	for _, d := range []config.Defense{config.SpecBox, config.BasicBlocker} {
+		if _, err := d.Scheme(); err != nil {
+			t.Fatalf("%s is not registered: %v", d, err)
+		}
+	}
+	for seed := uint64(11); seed <= 14; seed++ {
+		p := Generate(seed)
+		ref, err := RunRef(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range []config.Defense{config.SpecBox, config.BasicBlocker} {
+			for _, cm := range []config.Consistency{config.TSO, config.RC} {
+				for _, k := range []engine.Kernel{engine.KernelFast, engine.KernelStepped} {
+					cfg := Config{Defense: d, Consistency: cm, Kernel: k}
+					if reason := CheckConfig(p, cfg, ref); reason != "" {
+						t.Errorf("%s: %s diverges: %s", p.Name, cfg, reason)
+					}
+				}
+			}
+		}
+	}
+}

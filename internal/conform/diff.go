@@ -30,11 +30,21 @@ func (c Config) String() string {
 	return fmt.Sprintf("%s/%s/%s", c.Defense, c.Consistency, c.Kernel)
 }
 
-// Configs lists the full matrix in deterministic order: 5 defenses × 2
-// consistency models × 2 simulation kernels.
+// Configs lists the full matrix in deterministic order: every registered
+// defense scheme (config.AllDefenses, registry order) × 2 consistency
+// models × 2 simulation kernels. A newly registered scheme joins the
+// conformance matrix with no edit here.
 func Configs() []Config {
+	return ConfigsFor(config.AllDefenses())
+}
+
+// ConfigsFor lists the matrix restricted to a defense subset, preserving the
+// subset's order and the full matrix's per-defense expansion (both
+// consistency models, both kernels). The campaign's -defenses filter goes
+// through here.
+func ConfigsFor(defs []config.Defense) []Config {
 	var out []Config
-	for _, d := range config.AllDefenses() {
+	for _, d := range defs {
 		for _, cm := range []config.Consistency{config.TSO, config.RC} {
 			for _, k := range []engine.Kernel{engine.KernelFast, engine.KernelStepped} {
 				out = append(out, Config{Defense: d, Consistency: cm, Kernel: k})

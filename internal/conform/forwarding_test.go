@@ -38,10 +38,10 @@ func squashForwardProgram(name string, condVal uint64) *isa.Program {
 		Beq(4, 5, "taken")
 	// Fall-through side: speculative when condVal == 1 and the predictor
 	// guesses taken... or architectural when condVal != 1.
-	b.St(8, 1, 0, 2).  // store 0xAA over [base]
-		Ld(8, 6, 1, 0). // forwards 0xAA from the in-flight store
-		Add(7, 6, 6).   // dependent consumer of the forwarded value
-		Jmp("end")
+	b.St(8, 1, 0, 2). // store 0xAA over [base]
+				Ld(8, 6, 1, 0). // forwards 0xAA from the in-flight store
+				Add(7, 6, 6).   // dependent consumer of the forwarded value
+				Jmp("end")
 	b.Label("taken").
 		Ld(8, 6, 1, 0). // must read 0xBB if the fall-through was squashed
 		Add(7, 6, 3)
@@ -52,7 +52,7 @@ func squashForwardProgram(name string, condVal uint64) *isa.Program {
 // TestSquashDuringForwarding runs both branch polarities so the
 // store+forwarded-load pair lands on a mispredicted path regardless of the
 // predictor's initial guess (satellite: squash-during-forwarding regression
-// under all 5 defenses).
+// under every registered defense).
 func TestSquashDuringForwarding(t *testing.T) {
 	RequireConformance(t, squashForwardProgram("squash-fwd-taken", 1))
 	RequireConformance(t, squashForwardProgram("squash-fwd-nottaken", 0))

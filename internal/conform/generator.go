@@ -62,7 +62,7 @@ func (r *rng) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-func (r *rng) n(n int) int        { return int(r.next() % uint64(n)) }
+func (r *rng) n(n int) int         { return int(r.next() % uint64(n)) }
 func (r *rng) chance(pct int) bool { return r.n(100) < pct }
 
 // Mix derives a child seed; the campaign uses it so program i depends only
@@ -96,8 +96,8 @@ const (
 // sym(i) for segment i, symFunc(k) for call-chain function k.
 const symBase = 1 << 24
 
-func sym(i int) int      { return symBase + i }
-func symFunc(k int) int  { return 2*symBase + k }
+func sym(i int) int     { return symBase + i }
+func symFunc(k int) int { return 2*symBase + k }
 
 type segKind int
 

@@ -106,12 +106,12 @@ func TestShrinkBudgetRespected(t *testing.T) {
 // control flow; a branch over a nop run must land on the same instruction.
 func TestCompactRemapsTargets(t *testing.T) {
 	p := &isa.Program{Name: "compact", Handler: -1, Insts: []isa.Inst{
-		{Op: isa.OpLui, Rd: 1, Imm: 1},         // 0
+		{Op: isa.OpLui, Rd: 1, Imm: 1},             // 0
 		{Op: isa.OpBeq, Rs1: 1, Rs2: 1, Target: 4}, // 1: skip the nops
-		{Op: isa.OpNop},                        // 2
-		{Op: isa.OpNop},                        // 3
-		{Op: isa.OpLui, Rd: 2, Imm: 2},         // 4
-		{Op: isa.OpHalt},                       // 5
+		{Op: isa.OpNop},                            // 2
+		{Op: isa.OpNop},                            // 3
+		{Op: isa.OpLui, Rd: 2, Imm: 2},             // 4
+		{Op: isa.OpHalt},                           // 5
 	}}
 	q := compact(p)
 	if len(q.Insts) != 4 {

@@ -22,6 +22,7 @@ import (
 
 	"invisispec/internal/bpred"
 	"invisispec/internal/config"
+	"invisispec/internal/defense"
 	"invisispec/internal/isa"
 	"invisispec/internal/memsys"
 	"invisispec/internal/stats"
@@ -41,12 +42,18 @@ type Core struct {
 	id   int
 	cfg  config.Machine
 	run  config.Run
+	sch  defense.Defense // resolved countermeasure scheme (run.Defense)
 	prog *isa.Program
 	mem  *isa.Memory
 	hier *memsys.Hierarchy
 	bp   *bpred.Predictor
 	dtlb *tlb.TLB
 	st   *stats.Core
+
+	// bbLeader marks basic-block leaders per instruction index (the
+	// program's bb metadata, or the static fallback), consumed by
+	// dispatch-stalling defense schemes.
+	bbLeader []bool
 
 	now uint64
 
@@ -112,27 +119,34 @@ type fetchedInst struct {
 	ghr     uint64
 	// synthetic marks a defense fence injected at decode (Table V).
 	synthetic bool
+	// blockStart marks a basic-block leader per the program's bb
+	// metadata, consulted by the defense StallDispatch hook.
+	blockStart bool
 }
 
 // New builds a core. mem is the machine-wide functional memory, hier the
-// shared hierarchy, st the core's stats slot.
+// shared hierarchy, st the core's stats slot. The run's defense must be a
+// registered scheme (sim.New validates this; New panics on unregistered
+// names).
 func New(id int, run config.Run, prog *isa.Program, mem *isa.Memory,
 	hier *memsys.Hierarchy, st *stats.Core) *Core {
 	cfg := run.Machine
 	c := &Core{
-		id:   id,
-		cfg:  cfg,
-		run:  run,
-		prog: prog,
-		mem:  mem,
-		hier: hier,
-		bp:   bpred.New(cfg.Bpred),
-		dtlb: tlb.New(cfg.TLBEntries, cfg.PageWalkLatency),
-		st:   st,
-		pc:   prog.Entry,
-		rob:  make([]robEntry, cfg.ROBEntries),
-		lq:   make([]lqEntry, cfg.LQEntries),
-		sq:   make([]sqEntry, cfg.SQEntries),
+		id:       id,
+		cfg:      cfg,
+		run:      run,
+		sch:      run.Defense.MustScheme(),
+		prog:     prog,
+		mem:      mem,
+		hier:     hier,
+		bp:       bpred.New(cfg.Bpred),
+		dtlb:     tlb.New(cfg.TLBEntries, cfg.PageWalkLatency),
+		st:       st,
+		bbLeader: prog.BlockLeaders(),
+		pc:       prog.Entry,
+		rob:      make([]robEntry, cfg.ROBEntries),
+		lq:       make([]lqEntry, cfg.LQEntries),
+		sq:       make([]sqEntry, cfg.SQEntries),
 	}
 	for i := range c.rat {
 		c.rat[i] = -1

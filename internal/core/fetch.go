@@ -37,7 +37,7 @@ func (c *Core) fetch() {
 	tok := c.token()
 	c.fetchToken = tok
 	typ := memsys.IFetch
-	if c.cfg.ProtectICache && c.run.Defense.UsesInvisiSpec() {
+	if c.cfg.ProtectICache && c.sch.UsesInvisibleLoads() {
 		// Invisible speculative fetch (footnote 2): the line becomes
 		// visible only when an instruction from it retires.
 		typ = memsys.IFetchSpec
@@ -53,7 +53,7 @@ func (c *Core) fetch() {
 // ProtectICache: the first retirement from a line issues a normal
 // (installing) fetch for it.
 func (c *Core) exposeILine(pc int) {
-	if !c.cfg.ProtectICache || !c.run.Defense.UsesInvisiSpec() {
+	if !c.cfg.ProtectICache || !c.sch.UsesInvisibleLoads() {
 		return
 	}
 	line := iaddrOf(pc) >> 6
@@ -85,7 +85,7 @@ func (c *Core) ifetchDone(r memsys.Response) {
 	lineStart := c.pc - ((c.pc%per)+per)%per
 	for c.pc >= lineStart && c.pc < lineStart+per {
 		in := c.prog.At(c.pc)
-		fi := fetchedInst{pc: c.pc, inst: in}
+		fi := fetchedInst{pc: c.pc, inst: in, blockStart: c.isBlockStart(c.pc)}
 		next := c.pc + 1
 		switch {
 		case in.Op.IsCondBranch():

@@ -16,36 +16,22 @@ import (
 // squashes.
 
 // loadSafeNow reports whether the load at LQ logical position i may be
-// issued as a normal (visible) access under the active attack model.
+// issued as a normal (visible) access under the active defense scheme.
 func (c *Core) loadSafeNow(i int, e *lqEntry) bool {
 	if e.safeAnnot && c.cfg.TrustSafeAnnotations {
 		// §XI optimization: a load proven safe in advance needs no
-		// InvisiSpec hardware.
+		// InvisiSpec hardware. This threat-model carve-out is handled
+		// here, before the scheme is consulted, so every
+		// invisible-load defense inherits it identically.
 		return true
 	}
-	switch c.run.Defense {
-	case config.ISSpectre:
-		return !c.hasOlderUnresolvedBranch(c.robLogical(e.robIdx))
-	case config.ISFuture:
-		return c.futureVisible(c.robLogical(e.robIdx))
-	}
-	return true
+	return c.sch.LoadSafeNow(c.view(), c.robLogical(e.robIdx))
 }
 
 // loadVisible reports whether the USL at LQ logical position i has reached
-// its visibility point (§V-A1).
+// its visibility point (§V-A1) under the active defense scheme.
 func (c *Core) loadVisible(i int, e *lqEntry) bool {
-	rl := c.robLogical(e.robIdx)
-	switch c.run.Defense {
-	case config.ISSpectre:
-		// Visible once every older control-flow instruction has resolved.
-		return !c.hasOlderUnresolvedBranch(rl)
-	case config.ISFuture:
-		// Visible once non-speculative (ROB head) or speculative
-		// non-squashable by anything older.
-		return rl == 0 || c.futureVisible(rl)
-	}
-	return true
+	return c.sch.LoadVisible(c.view(), c.robLogical(e.robIdx))
 }
 
 func (c *Core) hasOlderUnresolvedBranch(rl int) bool {
@@ -247,7 +233,7 @@ func (c *Core) decideValidationOrExposure(e *lqEntry) {
 // validation blocks everything younger while exposures overlap; same-line
 // transactions are totally ordered.
 func (c *Core) invisiStep() {
-	if !c.run.Defense.UsesInvisiSpec() {
+	if !c.sch.UsesInvisibleLoads() {
 		return
 	}
 	for i := 0; i < c.lqCnt; i++ {
@@ -259,7 +245,7 @@ func (c *Core) invisiStep() {
 			if e.valExpDone {
 				continue
 			}
-			if e.needV && (c.run.Defense == config.ISFuture || !c.cfg.OverlapValExp) {
+			if e.needV && (c.sch.ValidationBlocksYounger() || !c.cfg.OverlapValExp) {
 				return // a validation blocks all younger transactions
 			}
 			if !e.needV && !c.cfg.OverlapValExp {
@@ -314,7 +300,7 @@ func (c *Core) invisiStep() {
 		if !e.needV {
 			c.st.Exposures++
 		}
-		if e.needV && (c.run.Defense == config.ISFuture || !c.cfg.OverlapValExp) {
+		if e.needV && (c.sch.ValidationBlocksYounger() || !c.cfg.OverlapValExp) {
 			return
 		}
 	}
@@ -436,9 +422,9 @@ func (c *Core) hasOlderAcquire(rl int) bool {
 
 // interruptsDisabled implements the §VI-D window: interrupts are deferred
 // while a USL that has initiated its validation/exposure has not yet
-// reached the ROB head.
+// reached the ROB head (on schemes that defer interrupts at all).
 func (c *Core) interruptsDisabled() bool {
-	if c.run.Defense != config.ISFuture {
+	if !c.sch.DefersInterrupts() {
 		return false
 	}
 	for i := 0; i < c.lqCnt; i++ {

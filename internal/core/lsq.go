@@ -190,7 +190,7 @@ func (c *Core) translateStep(i int, e *lqEntry) {
 		}
 		return
 	}
-	invisible := c.run.Defense.UsesInvisiSpec() && c.cfg.DelayTLBMiss && !c.loadSafeNow(i, e)
+	invisible := c.sch.UsesInvisibleLoads() && c.cfg.DelayTLBMiss && !c.loadSafeNow(i, e)
 	if !invisible {
 		extra := c.dtlb.Access(e.addr)
 		if extra > 0 {
@@ -276,7 +276,7 @@ func (c *Core) tryIssueLoad(i int, e *lqEntry) bool {
 	}
 	_ = rl
 	// No forwarding: go to memory.
-	if c.run.Defense.UsesInvisiSpec() && !c.loadSafeNow(i, e) {
+	if c.sch.UsesInvisibleLoads() && !c.loadSafeNow(i, e) {
 		c.issueUSL(i, e)
 		return false
 	}
@@ -337,7 +337,7 @@ func (c *Core) forwardFromStore(e *lqEntry, saddr uint64, ssize uint8, sdata uin
 		e.readMask |= 1 << (lineOff + b)
 	}
 	e.value = val
-	if c.run.Defense.UsesInvisiSpec() {
+	if c.sch.UsesInvisibleLoads() {
 		// Perform now; the Spec-GetS still fetches the line into the SB but
 		// must not overwrite the forwarded bytes.
 		e.isUSL = true

@@ -63,7 +63,7 @@ func (c *Core) retire() {
 			c.st.LoadsRetired++
 		case op == isa.OpPrefetch:
 			lq := &c.lq[e.lqIdx]
-			if c.run.Defense.UsesInvisiSpec() && lq.isUSL && !lq.valExpIssued {
+			if c.sch.UsesInvisibleLoads() && lq.isUSL && !lq.valExpIssued {
 				return // the exposure must have been initiated
 			}
 			c.freeHeadLQ(e)
@@ -131,6 +131,9 @@ func (c *Core) popHead() {
 
 func (c *Core) freeHeadLQ(e *robEntry) {
 	lq := &c.lq[e.lqIdx]
+	// Retire-time defense cleanup (e.g. SpecBox clears the retiring
+	// load's speculation label).
+	c.sch.OnRetireLoad(c.st, lq.isUSL)
 	lq.valid = false
 	if e.lqIdx != c.lqHead {
 		panic("core: retiring load is not the LQ head")

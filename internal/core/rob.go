@@ -98,7 +98,9 @@ func (c *Core) robLogical(phys int) int {
 }
 
 // dispatch renames and inserts instructions from the fetch buffer into the
-// ROB (and LQ/SQ), injecting defense fences per the configuration.
+// ROB (and LQ/SQ), applying the defense scheme's front-end policy:
+// dispatch stalls (BasicBlocker-style block boundaries) and synthetic
+// fence injection (Table V).
 func (c *Core) dispatch() {
 	width := c.cfg.FetchWidth
 	for n := 0; n < width && len(c.fetchBuf) > 0; n++ {
@@ -107,9 +109,16 @@ func (c *Core) dispatch() {
 		}
 		fi := c.fetchBuf[0]
 		op := fi.inst.Op
+		// The scheme may refuse to dispatch past a basic-block boundary
+		// while older control flow is unresolved. The stall is transient:
+		// branches resolve unconditionally once their operands arrive, so
+		// the front end always unblocks.
+		if c.sch.StallDispatch(c.view(), fi.blockStart) {
+			return
+		}
 		// Defense fences occupy an extra ROB slot (Table V).
-		fenceBefore := c.run.Defense == config.FenceFuture && op == isa.OpLoad
-		fenceAfter := c.run.Defense == config.FenceSpectre && isBranchNeedingFence(op)
+		fenceBefore := c.sch.FenceBeforeLoads() && op == isa.OpLoad
+		fenceAfter := c.sch.FenceAfterBranches() && isBranchNeedingFence(op)
 		slots := 1
 		if fenceBefore || fenceAfter {
 			slots = 2

@@ -48,9 +48,13 @@ func (c *Core) squashFromLogical(L int, reason stats.SquashReason, redirect int,
 			}
 		}
 	}
+	specFlushed := 0
 	for i := c.robCnt - 1; i >= L; i-- {
 		e := c.robAt(i)
 		if e.lqIdx >= 0 && c.lq[e.lqIdx].valid && c.lq[e.lqIdx].seq == e.seq {
+			if c.lq[e.lqIdx].isUSL {
+				specFlushed++
+			}
 			c.lq[e.lqIdx].valid = false
 			c.lqCnt--
 		}
@@ -60,6 +64,9 @@ func (c *Core) squashFromLogical(L int, reason stats.SquashReason, redirect int,
 		}
 		e.valid = false
 	}
+	// Squash-time defense cleanup (e.g. SpecBox flushes the labels of the
+	// speculative loads the squash invalidated).
+	c.sch.OnSquash(c.st, specFlushed)
 	if L < c.robCnt {
 		c.robCnt = L
 	}

@@ -131,7 +131,7 @@ func (c *Core) retireWouldAct() bool {
 		}
 	case isa.OpPrefetch:
 		lq := &c.lq[e.lqIdx]
-		if c.run.Defense.UsesInvisiSpec() && lq.isUSL && !lq.valExpIssued {
+		if c.sch.UsesInvisibleLoads() && lq.isUSL && !lq.valExpIssued {
 			return false
 		}
 	case isa.OpStore:
@@ -329,7 +329,7 @@ func (c *Core) lqWake() (uint64, bool) {
 // the same ordering barriers invisiStep enforces (in-flight validations,
 // uncaptured lines, invisibility, same-line total order).
 func (c *Core) invisiWouldIssue() bool {
-	if !c.run.Defense.UsesInvisiSpec() {
+	if !c.sch.UsesInvisibleLoads() {
 		return false
 	}
 	for i := 0; i < c.lqCnt; i++ {
@@ -341,7 +341,7 @@ func (c *Core) invisiWouldIssue() bool {
 			if e.valExpDone {
 				continue
 			}
-			if e.needV && (c.run.Defense == config.ISFuture || !c.cfg.OverlapValExp) {
+			if e.needV && (c.sch.ValidationBlocksYounger() || !c.cfg.OverlapValExp) {
 				return false
 			}
 			if !e.needV && !c.cfg.OverlapValExp {
@@ -389,7 +389,11 @@ func (c *Core) fetchWake(now uint64) (uint64, bool) {
 }
 
 // dispatchWouldInsert mirrors dispatch's head-of-buffer gating: true when
-// the oldest fetched instruction has the ROB/LQ/SQ space it needs.
+// the oldest fetched instruction has the ROB/LQ/SQ space it needs. The
+// defense StallDispatch hook is deliberately NOT mirrored: reporting busy
+// while the scheme stalls dispatch is an allowed under-promise of the
+// NextWake contract (a wasted poll, never a missed event), and the stall
+// clears via branch resolution, which the exec-done wake already covers.
 func (c *Core) dispatchWouldInsert() bool {
 	if len(c.fetchBuf) == 0 || c.haltSeen {
 		return false
@@ -397,8 +401,8 @@ func (c *Core) dispatchWouldInsert() bool {
 	fi := c.fetchBuf[0]
 	op := fi.inst.Op
 	slots := 1
-	if (c.run.Defense == config.FenceFuture && op == isa.OpLoad) ||
-		(c.run.Defense == config.FenceSpectre && isBranchNeedingFence(op)) {
+	if (c.sch.FenceBeforeLoads() && op == isa.OpLoad) ||
+		(c.sch.FenceAfterBranches() && isBranchNeedingFence(op)) {
 		slots = 2
 	}
 	if c.robCnt+slots > len(c.rob) {

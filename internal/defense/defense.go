@@ -1,0 +1,153 @@
+// Package defense is the pluggable countermeasure framework: every
+// speculative-execution defense the simulator models is a Defense
+// implementation registered by name, and every consumer — config, the
+// harness sweeps, the leakage scanner, the conformance fuzzer, the
+// kernel-equivalence oracle, all four CLIs — resolves schemes through the
+// registry instead of switching on an enum. Registering a new scheme is
+// sufficient for every matrix and CI gate to pick it up.
+//
+// The interface deliberately exposes only the narrow decision points the
+// paper's five configurations reach into the pipeline for; everything a
+// hook may observe about machine state comes through the read-only View.
+// A scheme therefore cannot mutate the core, reorder its stages, or see
+// anything a real hardware policy block could not see — which is what
+// keeps the stepped/fast kernel equivalence and the golden-interpreter
+// conformance proofs valid for every registered scheme at once.
+//
+// Hook ordering over an instruction's lifetime (see DESIGN.md §13):
+//
+//	dispatch:  StallDispatch → FenceBeforeLoads/FenceAfterBranches
+//	issue:     UsesInvisibleLoads → LoadSafeNow (safe load vs USL)
+//	visible:   LoadVisible → validation/exposure (ValidationBlocksYounger)
+//	retire:    OnRetireLoad; DefersInterrupts gates interrupt delivery
+//	squash:    OnSquash
+package defense
+
+import "invisispec/internal/stats"
+
+// View is the read-only window a policy hook gets into the querying
+// core's state. The core implements it; schemes may only ask the
+// questions below — each corresponds to a piece of tracking hardware a
+// real implementation of the scheme would carry.
+type View interface {
+	// OlderUnresolvedBranch reports whether any conditional branch or
+	// mispredictable indirect jump older than the instruction at logical
+	// ROB index rl is still unresolved — the paper's Spectre-model
+	// visibility point test.
+	OlderUnresolvedBranch(rl int) bool
+	// FutureVisible reports whether the instruction at logical ROB index
+	// rl has reached the Futuristic-model visibility point: nothing older
+	// can squash it (no unresolved branch, no possibly-faulting or
+	// unperformed memory op, no fence ahead of it).
+	FutureVisible(rl int) bool
+	// OlderUnresolvedControl reports whether any mispredictable
+	// control-flow instruction (conditional branch, indirect jump,
+	// return) anywhere in the ROB is still unresolved — the
+	// BasicBlocker-style "may the front end run past a block boundary"
+	// test, independent of any particular younger instruction.
+	OlderUnresolvedControl() bool
+}
+
+// Defense is one speculation countermeasure. Implementations must be
+// stateless value types: the same scheme instance is shared by every
+// core of every concurrently-running machine, so all per-run state lives
+// in the core and the hooks must be pure functions of (View, arguments).
+type Defense interface {
+	// Name is the registry key and the label every artifact, report and
+	// CLI flag uses ("Base", "IS-Fu", "SpecBox", ...).
+	Name() string
+	// Description is a one-line summary for -listdefenses and docs.
+	Description() string
+	// ThreatModel names what the scheme defends against ("none",
+	// "Spectre", "Futuristic", ...), for reports and the README table.
+	ThreatModel() string
+
+	// UsesInvisibleLoads reports whether speculative loads issue as USLs
+	// through the speculative-buffer machinery (invisible fills,
+	// validation/exposure at the visibility point). False means loads
+	// issue as ordinary cache accesses.
+	UsesInvisibleLoads() bool
+	// FenceBeforeLoads inserts a synthetic fence before every load at
+	// dispatch (the paper's Fe-Fu baseline).
+	FenceBeforeLoads() bool
+	// FenceAfterBranches inserts a synthetic fence after every
+	// mispredictable control instruction at dispatch (the paper's Fe-Sp
+	// baseline).
+	FenceAfterBranches() bool
+
+	// LoadSafeNow reports whether the load at logical ROB index rl may
+	// issue as an ordinary (visible) access right now. Only consulted
+	// when UsesInvisibleLoads is true; returning false makes the load an
+	// USL. Loads carrying a trusted §XI safe annotation bypass this hook
+	// entirely (the core handles that threat-model carve-out before
+	// asking the scheme).
+	LoadSafeNow(v View, rl int) bool
+	// LoadVisible reports whether the USL at logical ROB index rl has
+	// reached its visibility point and may start validation/exposure.
+	// Must eventually return true for the ROB head (rl == 0) on every
+	// scheme, or retirement deadlocks.
+	LoadVisible(v View, rl int) bool
+	// ValidationBlocksYounger reports whether an USL awaiting validation
+	// blocks younger USLs from starting their own validation/exposure
+	// (the Futuristic model's ordering requirement; overridable per
+	// machine by config.Machine.OverlapValExp for Spectre-model runs).
+	ValidationBlocksYounger() bool
+	// DefersInterrupts reports whether external interrupts are held off
+	// while USLs are in flight (§VI-D: an interrupt would squash
+	// speculatively-performed loads whose effects must stay invisible).
+	DefersInterrupts() bool
+
+	// StallDispatch reports whether dispatch must stall before the next
+	// instruction. blockStart is true when that instruction is a basic
+	// block leader per the program's bb metadata. Stalls must be
+	// transient: the condition has to clear once older instructions
+	// resolve, or the machine deadlocks (the watchdog will flag it).
+	StallDispatch(v View, blockStart bool) bool
+
+	// OnRetireLoad is the retire-time cleanup hook, called once per
+	// retired load or prefetch; wasSpec reports whether the entry went
+	// through the speculative (USL) path. Schemes use it for per-class
+	// accounting (e.g. SpecBox label clearing).
+	OnRetireLoad(st *stats.Core, wasSpec bool)
+	// OnSquash is the squash-time cleanup hook, called once per pipeline
+	// squash with the number of speculative (USL) load-queue entries the
+	// squash invalidated.
+	OnSquash(st *stats.Core, specFlushed int)
+}
+
+// Unprotected is the embeddable no-op policy: every hook returns the
+// permissive default (loads issue and perform visibly, nothing stalls,
+// nothing is counted). Schemes embed it and override only the hooks they
+// implement, so adding a hook to the interface does not break existing
+// schemes.
+type Unprotected struct{}
+
+// UsesInvisibleLoads returns false: loads are ordinary cache accesses.
+func (Unprotected) UsesInvisibleLoads() bool { return false }
+
+// FenceBeforeLoads returns false: no fences inserted before loads.
+func (Unprotected) FenceBeforeLoads() bool { return false }
+
+// FenceAfterBranches returns false: no fences inserted after branches.
+func (Unprotected) FenceAfterBranches() bool { return false }
+
+// LoadSafeNow returns true: every load may issue visibly at once.
+func (Unprotected) LoadSafeNow(View, int) bool { return true }
+
+// LoadVisible returns true: an USL is immediately at its visibility point.
+func (Unprotected) LoadVisible(View, int) bool { return true }
+
+// ValidationBlocksYounger returns false: validations overlap freely.
+func (Unprotected) ValidationBlocksYounger() bool { return false }
+
+// DefersInterrupts returns false: interrupts deliver immediately.
+func (Unprotected) DefersInterrupts() bool { return false }
+
+// StallDispatch returns false: the front end never stalls for the scheme.
+func (Unprotected) StallDispatch(View, bool) bool { return false }
+
+// OnRetireLoad counts nothing.
+func (Unprotected) OnRetireLoad(*stats.Core, bool) {}
+
+// OnSquash counts nothing.
+func (Unprotected) OnSquash(*stats.Core, int) {}

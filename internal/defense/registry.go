@@ -1,0 +1,77 @@
+package defense
+
+// The registry maps scheme names to implementations. Registration order
+// is preserved: All() is the canonical defense enumeration every matrix
+// (bench sweep, leakage scan, conformance fuzz, kernel oracle) iterates,
+// so its order is part of every deterministic artifact's byte layout.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+var registry struct {
+	byName map[string]Defense
+	order  []Defense
+}
+
+// Register adds a scheme to the registry, rejecting empty and duplicate
+// names. Ordinary schemes register from init via MustRegister; the error
+// form exists so tests can exercise the rejection paths without panics.
+func Register(d Defense) error {
+	name := d.Name()
+	if name == "" {
+		return fmt.Errorf("defense: Register: scheme has empty name")
+	}
+	if strings.ContainsAny(name, ", \t\n") {
+		return fmt.Errorf("defense: Register: name %q contains separator characters", name)
+	}
+	if _, dup := registry.byName[name]; dup {
+		return fmt.Errorf("defense: Register: duplicate scheme name %q", name)
+	}
+	if registry.byName == nil {
+		registry.byName = make(map[string]Defense)
+	}
+	registry.byName[name] = d
+	registry.order = append(registry.order, d)
+	return nil
+}
+
+// MustRegister is Register for init-time use; a bad registration is a
+// programming error and panics.
+func MustRegister(d Defense) {
+	if err := Register(d); err != nil {
+		panic(err)
+	}
+}
+
+// All returns every registered scheme in registration order (the five
+// paper configurations first, then later additions). The returned slice
+// is a copy.
+func All() []Defense {
+	out := make([]Defense, len(registry.order))
+	copy(out, registry.order)
+	return out
+}
+
+// Names returns every registered scheme name in registration order.
+func Names() []string {
+	names := make([]string, len(registry.order))
+	for i, d := range registry.order {
+		names[i] = d.Name()
+	}
+	return names
+}
+
+// Lookup resolves a scheme by name. The error lists the registered names
+// so CLI messages are self-documenting.
+func Lookup(name string) (Defense, error) {
+	if d, ok := registry.byName[name]; ok {
+		return d, nil
+	}
+	known := Names()
+	sort.Strings(known)
+	return nil, fmt.Errorf("defense: unknown scheme %q (registered: %s)",
+		name, strings.Join(known, ", "))
+}

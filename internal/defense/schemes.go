@@ -1,0 +1,135 @@
+package defense
+
+// The built-in schemes: the paper's five configurations plus the two
+// drop-in countermeasures that prove the framework (SpecBox-style label
+// quarantine, BasicBlocker-style ISA-assisted block speculation
+// control). Registration order here is the canonical matrix order.
+
+import "invisispec/internal/stats"
+
+func init() {
+	MustRegister(baseScheme{})
+	MustRegister(fenceSpectre{})
+	MustRegister(isSpectre{})
+	MustRegister(fenceFuture{})
+	MustRegister(isFuture{})
+	MustRegister(specBox{})
+	MustRegister(basicBlocker{})
+}
+
+// baseScheme is the undefended out-of-order baseline every figure
+// normalizes against.
+type baseScheme struct{ Unprotected }
+
+func (baseScheme) Name() string        { return "Base" }
+func (baseScheme) Description() string { return "undefended out-of-order baseline" }
+func (baseScheme) ThreatModel() string { return "none" }
+
+// fenceSpectre is the paper's Fe-Sp: a fence after every mispredictable
+// control instruction, so nothing speculates past an unresolved branch.
+type fenceSpectre struct{ Unprotected }
+
+func (fenceSpectre) Name() string { return "Fe-Sp" }
+func (fenceSpectre) Description() string {
+	return "fence after every mispredictable control instruction"
+}
+func (fenceSpectre) ThreatModel() string      { return "Spectre" }
+func (fenceSpectre) FenceAfterBranches() bool { return true }
+
+// isSpectre is InvisiSpec under the Spectre threat model: loads with an
+// older unresolved branch issue invisibly and become visible when every
+// older branch has resolved.
+type isSpectre struct{ Unprotected }
+
+func (isSpectre) Name() string { return "IS-Sp" }
+func (isSpectre) Description() string {
+	return "InvisiSpec, Spectre model: invisible until older branches resolve"
+}
+func (isSpectre) ThreatModel() string      { return "Spectre" }
+func (isSpectre) UsesInvisibleLoads() bool { return true }
+func (isSpectre) LoadSafeNow(v View, rl int) bool {
+	return !v.OlderUnresolvedBranch(rl)
+}
+func (isSpectre) LoadVisible(v View, rl int) bool {
+	return !v.OlderUnresolvedBranch(rl)
+}
+
+// fenceFuture is the paper's Fe-Fu: a fence before every load, the
+// conservative baseline for the Futuristic model.
+type fenceFuture struct{ Unprotected }
+
+func (fenceFuture) Name() string           { return "Fe-Fu" }
+func (fenceFuture) Description() string    { return "fence before every load" }
+func (fenceFuture) ThreatModel() string    { return "Futuristic" }
+func (fenceFuture) FenceBeforeLoads() bool { return true }
+
+// isFuture is InvisiSpec under the Futuristic threat model: loads are
+// invisible until nothing older can squash them, validations block
+// younger validations, and interrupts are deferred while USLs are in
+// flight.
+type isFuture struct{ Unprotected }
+
+func (isFuture) Name() string { return "IS-Fu" }
+func (isFuture) Description() string {
+	return "InvisiSpec, Futuristic model: invisible until no older squash source remains"
+}
+func (isFuture) ThreatModel() string      { return "Futuristic" }
+func (isFuture) UsesInvisibleLoads() bool { return true }
+func (isFuture) LoadSafeNow(v View, rl int) bool {
+	return v.FutureVisible(rl)
+}
+func (isFuture) LoadVisible(v View, rl int) bool {
+	return rl == 0 || v.FutureVisible(rl)
+}
+func (isFuture) ValidationBlocksYounger() bool { return true }
+func (isFuture) DefersInterrupts() bool        { return true }
+
+// specBox is the SpecBox-style label-based design: every speculative
+// fill is tagged and quarantined in a shadow structure (the speculative
+// buffer plays that role) and only merges into the visible hierarchy
+// when the load reaches the head of the ROB — the strictest visibility
+// point, so no transient load of any squash cause ever perturbs the
+// caches. Labels are cleared as loads retire and flushed wholesale on
+// squash; the scheme counts both transitions.
+type specBox struct{ Unprotected }
+
+func (specBox) Name() string { return "SpecBox" }
+func (specBox) Description() string {
+	return "label-based quarantine: speculative fills invisible until ROB head"
+}
+func (specBox) ThreatModel() string      { return "Futuristic" }
+func (specBox) UsesInvisibleLoads() bool { return true }
+func (specBox) LoadSafeNow(v View, rl int) bool {
+	return rl == 0
+}
+func (specBox) LoadVisible(v View, rl int) bool {
+	return rl == 0
+}
+func (specBox) ValidationBlocksYounger() bool { return true }
+func (specBox) DefersInterrupts() bool        { return true }
+func (specBox) OnRetireLoad(st *stats.Core, wasSpec bool) {
+	if wasSpec {
+		st.SpecLabelsCleared++
+	}
+}
+func (specBox) OnSquash(st *stats.Core, specFlushed int) {
+	st.SpecLabelsFlushed += uint64(specFlushed)
+}
+
+// basicBlocker is the BasicBlocker-style ISA-assisted scheme: the
+// program carries bb metadata marking basic-block leaders (computed by
+// the builder, conservatively every instruction when absent), and the
+// front end refuses to dispatch past a block boundary while any
+// mispredictable control instruction is unresolved. Loads inside the
+// current block execute visibly — the scheme trades same-block
+// (Meltdown-style) exposure for zero load-path hardware.
+type basicBlocker struct{ Unprotected }
+
+func (basicBlocker) Name() string { return "BasicBlocker" }
+func (basicBlocker) Description() string {
+	return "ISA-assisted: dispatch stalls at block boundaries until control resolves"
+}
+func (basicBlocker) ThreatModel() string { return "Spectre" }
+func (basicBlocker) StallDispatch(v View, blockStart bool) bool {
+	return blockStart && v.OlderUnresolvedControl()
+}

@@ -243,8 +243,8 @@ func MeasurePARSEC(name string, d config.Defense, cm config.Consistency, warmup,
 	return Measure(run, name, progs, warmup, measure, opts...)
 }
 
-// Sweep runs one workload under all five defenses for a consistency model
-// and returns results keyed by defense.
+// Sweep runs one workload under every registered defense scheme for a
+// consistency model and returns results keyed by defense.
 //
 // Sweep is the serial reference implementation: it runs one job at a time in
 // defense order on the calling goroutine. The figure generators and benches
@@ -252,7 +252,7 @@ func MeasurePARSEC(name string, d config.Defense, cm config.Consistency, warmup,
 // worker pool; runner's determinism tests assert its aggregated output is
 // byte-identical to what this function produces.
 func Sweep(name string, parsec bool, cm config.Consistency, warmup, measure uint64) (map[config.Defense]Result, error) {
-	out := make(map[config.Defense]Result, 5)
+	out := make(map[config.Defense]Result, len(config.AllDefenses()))
 	for _, d := range config.AllDefenses() {
 		var (
 			r   Result

@@ -297,13 +297,18 @@ func (b *Builder) Build() (*Program, error) {
 	}
 	chunks := append([]InitChunk(nil), b.chunks...)
 	sort.SliceStable(chunks, func(i, j int) bool { return chunks[i].Addr < chunks[j].Addr })
-	return &Program{
+	p := &Program{
 		Name:    b.name,
 		Insts:   insts,
 		Handler: handler,
 		InitMem: chunks,
 		Labels:  labels,
-	}, nil
+	}
+	// Every assembled program carries the bb metadata extension
+	// (basic-block leader/length marks); ISA-assisted defenses consume it
+	// in the front end, everything else ignores it.
+	p.ComputeBB()
+	return p, nil
 }
 
 // MustBuild is Build that panics on assembly errors; it is intended for

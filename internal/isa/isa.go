@@ -321,6 +321,15 @@ type Program struct {
 	InitMem []InitChunk
 	// Labels maps label names to instruction indices (useful in tests).
 	Labels map[string]int
+	// BlockLen is the bb metadata extension: BlockLen[i] > 0 marks
+	// instruction i as a basic-block leader and gives the block's length
+	// in instructions; 0 marks a block-interior instruction. The builder
+	// computes it for every assembled program (ComputeBB); hand-built
+	// programs may leave it nil, in which case consumers fall back to the
+	// static computation (BlockLeaders). The metadata is purely a
+	// front-end hint — the golden interpreter ignores it, so programs
+	// with and without it are architecturally identical.
+	BlockLen []int
 }
 
 // InitChunk is an initial-data segment of a program image.
@@ -340,3 +349,73 @@ func (p *Program) At(pc int) Inst {
 
 // Valid reports whether pc addresses a real instruction.
 func (p *Program) Valid(pc int) bool { return pc >= 0 && pc < len(p.Insts) }
+
+// BlockLeaders returns, per instruction, whether it starts a basic block.
+// When the program carries bb metadata (BlockLen, set by the builder) the
+// leaders are read from it; otherwise they are computed from static
+// control flow: the entry point, the exception handler, every label
+// (labels are the only legal indirect-jump targets in builder-assembled
+// programs), every direct branch/jump/call target, and the instruction
+// after every control-flow instruction (a branch always terminates its
+// block). Dynamic indirect targets that coincide with none of these are
+// treated as block-interior — a conservative under-approximation for
+// schemes that stall at block boundaries, never an architectural change.
+func (p *Program) BlockLeaders() []bool {
+	n := len(p.Insts)
+	if n == 0 {
+		return nil
+	}
+	leader := make([]bool, n)
+	if p.BlockLen != nil {
+		for i := 0; i < n && i < len(p.BlockLen); i++ {
+			leader[i] = p.BlockLen[i] > 0
+		}
+		return leader
+	}
+	mark := func(i int) {
+		if i >= 0 && i < n {
+			leader[i] = true
+		}
+	}
+	mark(p.Entry)
+	mark(p.Handler)
+	for _, idx := range p.Labels {
+		mark(idx)
+	}
+	for i, in := range p.Insts {
+		if !in.Op.IsBranch() {
+			continue
+		}
+		mark(i + 1)
+		switch in.Op {
+		case OpJmpI, OpRet:
+			// Indirect: target unknown statically (labels cover the
+			// builder's jump tables; return sites are call.next, already
+			// marked as post-control leaders).
+		default:
+			mark(in.Target)
+		}
+	}
+	return leader
+}
+
+// ComputeBB fills in the bb metadata from the program's block leaders:
+// BlockLen[i] is the distance from leader i to the next leader (or the
+// end of the program), 0 for block-interior instructions. The builder
+// calls it on every assembled program; it is idempotent and safe to call
+// on hand-built programs too.
+func (p *Program) ComputeBB() {
+	p.BlockLen = nil // force BlockLeaders to recompute from control flow
+	leaders := p.BlockLeaders()
+	p.BlockLen = make([]int, len(leaders))
+	for i, isLeader := range leaders {
+		if !isLeader {
+			continue
+		}
+		end := i + 1
+		for end < len(leaders) && !leaders[end] {
+			end++
+		}
+		p.BlockLen[i] = end - i
+	}
+}

@@ -500,10 +500,10 @@ func TestInterpAppliesAlignment(t *testing.T) {
 		Li(2, 0x1122334455667788).
 		MustBuild()
 	p.Insts = append(p.Insts,
-		Inst{Op: OpStore, Rs1: 1, Rs2: 2, Imm: 5, Size: 8},  // st.8 -> 0x1000
-		Inst{Op: OpLoad, Rd: 3, Rs1: 1, Imm: 3, Size: 8},    // ld.8 <- 0x1000
-		Inst{Op: OpLoad, Rd: 4, Rs1: 1, Imm: 6, Size: 4},    // ld.4 <- 0x1004
-		Inst{Op: OpRMW, Rd: 5, Rs1: 1, Rs2: 0, Size: 8},     // rmw @0x1000 (aligned)
+		Inst{Op: OpStore, Rs1: 1, Rs2: 2, Imm: 5, Size: 8}, // st.8 -> 0x1000
+		Inst{Op: OpLoad, Rd: 3, Rs1: 1, Imm: 3, Size: 8},   // ld.8 <- 0x1000
+		Inst{Op: OpLoad, Rd: 4, Rs1: 1, Imm: 6, Size: 4},   // ld.4 <- 0x1004
+		Inst{Op: OpRMW, Rd: 5, Rs1: 1, Rs2: 0, Size: 8},    // rmw @0x1000 (aligned)
 		Inst{Op: OpHalt})
 	it := NewInterp(p)
 	if err := it.Run(20); err != nil {

@@ -113,15 +113,20 @@ func TestExpectMatrix(t *testing.T) {
 			config.ISSpectre:    VerdictBlocked,
 			config.FenceFuture:  VerdictBlocked,
 			config.ISFuture:     VerdictBlocked,
+			config.SpecBox:      VerdictBlocked,
+			config.BasicBlocker: VerdictBlocked,
 		}},
 		{"no-flush-bounds", noFB, map[config.Defense]Verdict{
-			config.Base:      VerdictBlocked,
-			config.ISSpectre: VerdictBlocked,
+			config.Base:         VerdictBlocked,
+			config.ISSpectre:    VerdictBlocked,
+			config.SpecBox:      VerdictBlocked,
+			config.BasicBlocker: VerdictBlocked,
 		}},
 		{"no-flush-probe", noFP, map[config.Defense]Verdict{
 			config.Base:      VerdictInconclusive,
 			config.ISFuture:  VerdictInconclusive,
 			config.ISSpectre: VerdictInconclusive,
+			config.SpecBox:   VerdictInconclusive,
 		}},
 		{"meltdown", meltdown, map[config.Defense]Verdict{
 			config.Base:         VerdictLeak,
@@ -129,6 +134,28 @@ func TestExpectMatrix(t *testing.T) {
 			config.ISSpectre:    VerdictLeak,
 			config.FenceFuture:  VerdictBlocked,
 			config.ISFuture:     VerdictBlocked,
+			config.SpecBox:      VerdictBlocked,
+			config.BasicBlocker: VerdictLeak,
+		}},
+		// The two post-paper schemes' threat-model boundaries, validated
+		// empirically by the smoke scan: SpecBox quarantines fills until the
+		// ROB head so even exception transients stay invisible, but the §XI
+		// annotation bypass precedes its issue hook; BasicBlocker's
+		// block-boundary stall closes every branch-shaped window (annotated
+		// or not) but cannot separate a faulting load from a dependent
+		// transmit in the same basic block.
+		{"annot-trust", func() AttackSpec {
+			s := canonical
+			s.Annotate, s.TrustAnnotations = true, true
+			return s
+		}(), map[config.Defense]Verdict{
+			config.Base:         VerdictLeak,
+			config.FenceSpectre: VerdictBlocked,
+			config.ISSpectre:    VerdictLeak,
+			config.FenceFuture:  VerdictBlocked,
+			config.ISFuture:     VerdictLeak,
+			config.SpecBox:      VerdictLeak,
+			config.BasicBlocker: VerdictBlocked,
 		}},
 	}
 	for _, tc := range cases {

@@ -68,12 +68,12 @@ type Report struct {
 	Name   string `json:"name"`
 	// Seed and Count identify a fuzzed corpus (Corpus(seed, count));
 	// both zero for the fixed smoke corpus.
-	Seed       int64       `json:"seed,omitempty"`
-	Count      int         `json:"count,omitempty"`
-	Trials     int         `json:"trials"`
-	Thresholds Thresholds  `json:"thresholds"`
-	Defenses   []string    `json:"defenses"`
-	Cells      []Cell      `json:"cells"`
+	Seed       int64      `json:"seed,omitempty"`
+	Count      int        `json:"count,omitempty"`
+	Trials     int        `json:"trials"`
+	Thresholds Thresholds `json:"thresholds"`
+	Defenses   []string   `json:"defenses"`
+	Cells      []Cell     `json:"cells"`
 	// Degraded lists the cells whose trials exhausted their retry budget
 	// (campaign graceful degradation): the scan completed without them, the
 	// CLI exits non-zero, and each entry carries a ready-to-run repro

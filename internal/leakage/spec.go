@@ -186,15 +186,21 @@ func (s AttackSpec) ResultLines() int {
 //     L1, the branch resolves before the secret arrives, and the window
 //     closes — Blocked everywhere, Base included (a negative control).
 //   - Annotate+TrustAnnotations: safe-annotated loads bypass the USL
-//     machinery, so the leak re-opens on IS-Sp and IS-Fu (and Base);
-//     the fence defenses still serialize it shut. This is the §XI
-//     threat-model boundary, reported as an expected leak.
+//     machinery, so the leak re-opens on every invisible-load scheme
+//     (IS-Sp, IS-Fu, SpecBox) and Base; the fence defenses and
+//     BasicBlocker still close the window in the front end, which the
+//     annotation does not touch. This is the §XI threat-model boundary,
+//     reported as an expected leak.
 //   - Meltdown: exceptions are a Futuristic squash source, so it leaks on
-//     Base, Fe-Sp and IS-Sp, and only Fe-Fu/IS-Fu block it.
+//     Base, Fe-Sp and IS-Sp; Fe-Fu/IS-Fu block it. SpecBox blocks it too
+//     (fills stay quarantined until the ROB head, and the faulting load
+//     never reaches the head un-squashed); BasicBlocker leaks it — the
+//     faulting load and its dependent transmit load share a basic block,
+//     so no block-boundary stall separates them.
 func (s AttackSpec) Expect(d config.Defense) Verdict {
 	if s.Template == TemplateMeltdown {
 		switch d {
-		case config.Base, config.FenceSpectre, config.ISSpectre:
+		case config.Base, config.FenceSpectre, config.ISSpectre, config.BasicBlocker:
 			return VerdictLeak
 		}
 		return VerdictBlocked
@@ -207,7 +213,7 @@ func (s AttackSpec) Expect(d config.Defense) Verdict {
 	}
 	if s.Annotate && s.TrustAnnotations {
 		switch d {
-		case config.Base, config.ISSpectre, config.ISFuture:
+		case config.Base, config.ISSpectre, config.ISFuture, config.SpecBox:
 			return VerdictLeak
 		}
 		return VerdictBlocked

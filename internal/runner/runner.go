@@ -222,8 +222,8 @@ func Matrix(workloads []string, parsec bool, cms []config.Consistency, defenses 
 	return jobs
 }
 
-// Sweep is the parallel counterpart of harness.Sweep: one workload under all
-// five defenses for one consistency model, sharded across the pool, results
+// Sweep is the parallel counterpart of harness.Sweep: one workload under
+// every registered defense for one consistency model, sharded across the pool, results
 // keyed by defense. The aggregated map is identical to harness.Sweep's (the
 // runner tests assert this), just computed opts.Jobs-wide.
 func Sweep(ctx context.Context, name string, parsec bool, cm config.Consistency, warmup, measure uint64, opts Options) (map[config.Defense]harness.Result, error) {

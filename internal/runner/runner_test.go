@@ -14,7 +14,8 @@ import (
 	"invisispec/internal/harness"
 )
 
-// testMatrix is a small but real matrix: 2 SPEC kernels x TSO x 5 defenses.
+// testMatrix is a small but real matrix: 2 SPEC kernels x TSO x every
+// registered defense.
 func testMatrix() []Job {
 	return Matrix([]string{"sjeng", "libquantum"}, false,
 		[]config.Consistency{config.TSO}, config.AllDefenses(), nil, 2000, 4000)

@@ -78,6 +78,11 @@ func New(run config.Run, progs []*isa.Program) (*Machine, error) {
 	if err := run.Machine.Validate(); err != nil {
 		return nil, err
 	}
+	if _, err := run.Defense.Scheme(); err != nil {
+		// Unregistered defense names fail here, before core construction
+		// (core.New resolves the scheme with MustScheme and would panic).
+		return nil, err
+	}
 	if len(progs) != run.Machine.Cores {
 		return nil, fmt.Errorf("sim: %d programs for %d cores", len(progs), run.Machine.Cores)
 	}

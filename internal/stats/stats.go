@@ -110,6 +110,10 @@ type Core struct {
 	InterruptsDelayed   uint64 // interrupts deferred by the §VI-D window
 	PrefetchesInvisible uint64
 
+	// Defense-scheme accounting (internal/defense cleanup hooks).
+	SpecLabelsCleared uint64 // SpecBox labels cleared as their loads retired
+	SpecLabelsFlushed uint64 // SpecBox labels flushed by squashes
+
 	// TLB.
 	TLBHits         uint64
 	TLBMisses       uint64
@@ -238,6 +242,8 @@ func (m *Machine) Sum() Core {
 		s.LLCSBMisses += c.LLCSBMisses
 		s.InterruptsDelayed += c.InterruptsDelayed
 		s.PrefetchesInvisible += c.PrefetchesInvisible
+		s.SpecLabelsCleared += c.SpecLabelsCleared
+		s.SpecLabelsFlushed += c.SpecLabelsFlushed
 		s.TLBHits += c.TLBHits
 		s.TLBMisses += c.TLBMisses
 		s.TLBWalksDelayed += c.TLBWalksDelayed
@@ -274,6 +280,8 @@ func (c Core) Sub(prev Core) Core {
 	r.LLCSBMisses -= prev.LLCSBMisses
 	r.InterruptsDelayed -= prev.InterruptsDelayed
 	r.PrefetchesInvisible -= prev.PrefetchesInvisible
+	r.SpecLabelsCleared -= prev.SpecLabelsCleared
+	r.SpecLabelsFlushed -= prev.SpecLabelsFlushed
 	r.TLBHits -= prev.TLBHits
 	r.TLBMisses -= prev.TLBMisses
 	r.TLBWalksDelayed -= prev.TLBWalksDelayed

@@ -105,7 +105,7 @@ func TestDiff(t *testing.T) {
 }
 
 // Every defense must commit the same architectural stream for the same
-// program: record all five and diff them pairwise.
+// program: record every registered scheme and diff them pairwise.
 func TestAllDefensesCommitIdenticalStreams(t *testing.T) {
 	prog := workload.MustSPEC("hmmer")
 	record := func(d config.Defense) []trace.Event {
