@@ -10,7 +10,7 @@ JOBS ?= 4
 BIN = bin
 SMOKE_FLAGS = -fig 4 -warmup 5000 -measure 20000 -jobs $(JOBS) -quiet
 
-.PHONY: all build tools test vet lint race check ci bench smoke benchdiff baseline leakscan kernelcheck conform chaos
+.PHONY: all build tools test vet lint race check ci bench smoke benchdiff baseline leakscan kernelcheck conform chaos serve
 
 all: build
 
@@ -20,7 +20,7 @@ build:
 # Build the CLI gates once into $(BIN); the leakscan/conform/smoke targets
 # run these binaries instead of `go run`, so one compile serves every gate.
 tools:
-	$(GO) build -o $(BIN)/ ./cmd/benchtable ./cmd/benchdiff ./cmd/leakscan ./cmd/conformfuzz
+	$(GO) build -o $(BIN)/ ./cmd/benchtable ./cmd/benchdiff ./cmd/leakscan ./cmd/conformfuzz ./cmd/simserver
 
 vet:
 	$(GO) vet ./...
@@ -110,3 +110,11 @@ conform: tools
 # and sanity-check the diff before committing.
 baseline: tools
 	$(BIN)/benchtable $(SMOKE_FLAGS) -benchjson BENCH_baseline.json -benchname smoke -benchhost=false
+
+# Simulation-as-a-service (DESIGN.md §14): a long-running HTTP job server
+# with content-addressed cell memoization and the HTML dashboard. Sweep
+# jobs are gated against the committed baseline; the trends page reads the
+# committed BENCH_*.json artifacts in the repo root.
+serve: tools
+	$(BIN)/simserver -addr :8080 -cache .simcache -journal-dir .simcache/journals \
+		-history . -baseline BENCH_baseline.json

@@ -2,9 +2,9 @@
 // artifacts (see internal/runner) and exits non-zero when the candidate's
 // results are unacceptable against the baseline.
 //
-//	benchdiff [-tol 0.10] [-eps 0.02] BENCH_baseline.json BENCH_candidate.json
+//	benchdiff [-tol 0.10] [-eps 0.02] [-json out.json] BENCH_baseline.json BENCH_candidate.json
 //
-// Two families of checks run:
+// Two families of checks run (runner.CompareBench):
 //
 //   - Shape fidelity (candidate only): within every (workload, consistency,
 //     fault-seed) group that carries every registered defense, the insecure
@@ -26,46 +26,51 @@
 //     keep the figures honest.
 //
 // All violations are reported (not just the first) before the non-zero exit.
+// -json additionally writes the machine-readable benchdiff-verdict/v1
+// document — every check with its pass/fail and CPI deltas — to a file, or
+// to stdout with "-json -", so the dashboard and CI consume gate results
+// without parsing text.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
 
-	"invisispec/internal/config"
+	"invisispec/internal/artifact"
 	"invisispec/internal/runner"
 )
 
 var (
-	tol = flag.Float64("tol", 0.10, "maximum allowed relative CPI regression vs the baseline")
-	eps = flag.Float64("eps", 0.02, "slack ratio for shape (ordering) comparisons")
+	tol      = flag.Float64("tol", 0.10, "maximum allowed relative CPI regression vs the baseline")
+	eps      = flag.Float64("eps", 0.02, "slack ratio for shape (ordering) comparisons")
+	jsonPath = flag.String("json", "", "write the benchdiff-verdict/v1 JSON document here (\"-\" = stdout)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol f] [-eps f] baseline.json candidate.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol f] [-eps f] [-json out.json] baseline.json candidate.json")
 		os.Exit(2)
 	}
 	base := load(flag.Arg(0))
 	cand := load(flag.Arg(1))
 
-	var problems []string
-	problems = append(problems, shapeProblems(cand)...)
-	problems = append(problems, regressionProblems(base, cand)...)
+	v := runner.CompareBench(base, cand, *tol, *eps)
+	writeVerdict(v)
 
-	if len(problems) > 0 {
-		for _, p := range problems {
-			fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", p)
+	if failed := v.Failed(); len(failed) > 0 {
+		for _, c := range failed {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL: %s: %s\n", c.Key, c.Detail)
 		}
 		fmt.Fprintf(os.Stderr, "benchdiff: %d problem(s) comparing %q against baseline %q\n",
-			len(problems), cand.Name, base.Name)
+			v.Problems, cand.Name, base.Name)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: ok — %d candidate runs, %d baseline runs, shape holds, CPI within %.0f%%\n",
-		len(cand.Runs), len(base.Runs), *tol*100)
+	fmt.Printf("benchdiff: ok — %d candidate runs, %d baseline runs, %d checks, shape holds, CPI within %.0f%%\n",
+		len(cand.Runs), len(base.Runs), len(v.Checks), *tol*100)
 }
 
 func load(path string) *runner.Bench {
@@ -83,109 +88,26 @@ func load(path string) *runner.Bench {
 	return b
 }
 
-// groupKey is one normalization group.
-type groupKey struct {
-	workload, cm string
-	seed         int64
-}
-
-func (k groupKey) String() string {
-	return fmt.Sprintf("%s/%s/seed%d", k.workload, k.cm, k.seed)
-}
-
-// shapeProblems verifies the paper's qualitative ordering inside the
-// candidate artifact.
-func shapeProblems(cand *runner.Bench) []string {
-	groups := make(map[groupKey]map[string]runner.BenchRun)
-	for _, r := range cand.Runs {
-		if r.Error != "" {
-			continue // reported by the regression pass
-		}
-		k := groupKey{r.Workload, r.Consistency, r.FaultSeed}
-		if groups[k] == nil {
-			groups[k] = make(map[string]runner.BenchRun, 5)
-		}
-		groups[k][r.Defense] = r
+// writeVerdict emits the -json document. It is written before the text
+// report and the exit decision so a failing gate still lands its verdict
+// artifact (CI uploads it either way).
+func writeVerdict(v *runner.DiffVerdict) {
+	if *jsonPath == "" {
+		return
 	}
-	var problems []string
-	// Per consistency model: sum of normalized times per defense and the
-	// number of complete groups, for the figures' average rows.
-	avgSum := make(map[string]map[config.Defense]float64)
-	avgN := make(map[string]int)
-	for _, k := range sortedGroupKeys(groups) {
-		g := groups[k]
-		if len(g) < len(config.AllDefenses()) {
-			continue // partial matrix (e.g. table6 artifacts): nothing to order
-		}
-		base := g[config.Base.String()]
-		if avgSum[k.cm] == nil {
-			avgSum[k.cm] = make(map[config.Defense]float64, 5)
-		}
-		avgN[k.cm]++
-		for _, d := range config.AllDefenses() {
-			r := g[d.String()]
-			if base.CPI > 0 {
-				avgSum[k.cm][d] += r.CPI / base.CPI
-			}
-			if d != config.Base && base.CPI > r.CPI*(1+*eps) {
-				problems = append(problems, fmt.Sprintf(
-					"%s: shape inverted: insecure Base (CPI %.4f) slower than %s (CPI %.4f)",
-					k, base.CPI, d, r.CPI))
-			}
-		}
+	emit := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
 	}
-	for _, cm := range []string{config.TSO.String(), config.RC.String()} {
-		n := avgN[cm]
-		if n == 0 {
-			continue
-		}
-		avg := func(d config.Defense) float64 { return avgSum[cm][d] / float64(n) }
-		check := func(is, fence config.Defense, why string) {
-			if avg(is) > avg(fence)*(1+*eps) {
-				problems = append(problems, fmt.Sprintf(
-					"%s average over %d workloads: shape inverted: %s (%.3fx) slower than %s (%.3fx) — %s",
-					cm, n, is, avg(is), fence, avg(fence), why))
-			}
-		}
-		check(config.ISSpectre, config.FenceSpectre, "InvisiSpec must beat fences for the Spectre threat model")
-		check(config.ISFuture, config.FenceFuture, "InvisiSpec must beat fences for the futuristic threat model")
+	var err error
+	if *jsonPath == "-" {
+		err = emit(os.Stdout)
+	} else {
+		err = artifact.Write(*jsonPath, emit)
 	}
-	return problems
-}
-
-// regressionProblems compares the candidate's runs against the baseline's.
-func regressionProblems(base, cand *runner.Bench) []string {
-	var problems []string
-	candByKey := cand.RunsByKey()
-	baseByKey := base.RunsByKey()
-	for _, key := range base.SortedRunKeys() {
-		b := baseByKey[key]
-		if b.Error != "" {
-			continue // a broken baseline run gates nothing
-		}
-		c, ok := candByKey[key]
-		switch {
-		case !ok:
-			problems = append(problems, fmt.Sprintf("%s: present in baseline, missing from candidate", key))
-		case c.Error != "":
-			problems = append(problems, fmt.Sprintf("%s: candidate run failed: %s", key, c.Error))
-		case c.Instructions == 0:
-			problems = append(problems, fmt.Sprintf("%s: candidate run retired no instructions", key))
-		case c.CPI > b.CPI*(1+*tol):
-			problems = append(problems, fmt.Sprintf(
-				"%s: CPI regressed %.4f -> %.4f (+%.1f%%, tolerance %.0f%%)",
-				key, b.CPI, c.CPI, 100*(c.CPI/b.CPI-1), *tol*100))
-		}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
 	}
-	return problems
-}
-
-// sortedGroupKeys returns the groups in deterministic report order.
-func sortedGroupKeys(groups map[groupKey]map[string]runner.BenchRun) []groupKey {
-	keys := make([]groupKey, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
-	return keys
 }

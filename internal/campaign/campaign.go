@@ -111,8 +111,21 @@ type Options struct {
 	// Isolate, when non-nil, runs every attempt in a child worker process
 	// with kill-on-hang semantics (see IsolateOptions).
 	Isolate *IsolateOptions
+	// Exec, when non-nil (and Isolate is nil), replaces the in-process
+	// attempt: it receives the cell and its content key and returns the
+	// cell's canonical JSON value. This is the memoization seam — the
+	// simulation server points it at a content-addressed store whose Do
+	// wraps c.Run, so a cached cell never re-runs. The returned RawMessage
+	// is passed through to the journal and the Outcome byte-for-byte,
+	// preserving the byte-identity invariant across cache hits. Exec runs
+	// under the same per-attempt timeout, panic recovery, retry, and
+	// journaling as an ordinary attempt.
+	Exec func(ctx context.Context, c Cell, key string) (json.RawMessage, error)
 	// Progress receives the pool's per-cell progress lines.
 	Progress io.Writer
+	// OnProgress receives the pool's structured per-cell completion events
+	// (see runner.Options.OnProgress).
+	OnProgress func(runner.ProgressEvent)
 	// Chaos enables the seeded kill/fault harness.
 	Chaos *ChaosOptions
 
@@ -217,7 +230,7 @@ func Run(ctx context.Context, name string, cells []Cell, opts Options) ([]Outcom
 		taskIdx = append(taskIdx, i)
 	}
 
-	trs := runner.RunTasks(runCtx, tasks, runner.Options{Jobs: opts.Workers, Progress: opts.Progress})
+	trs := runner.RunTasks(runCtx, tasks, runner.Options{Jobs: opts.Workers, Progress: opts.Progress, OnProgress: opts.OnProgress})
 	for k, tr := range trs {
 		i := taskIdx[k]
 		if tr.Err != nil {
@@ -256,12 +269,20 @@ func runCell(ctx context.Context, c Cell, o Outcome, opts Options, j *journal, a
 		class := Classify(err)
 		switch class {
 		case ClassNone:
-			raw, merr := json.Marshal(val)
-			if merr != nil {
-				o.Err = fmt.Errorf("campaign: %s: marshaling cell value: %w", c.Name, merr)
-				o.Class = ClassDeterministic
-				journalOutcome(j, o, abort)
-				return o
+			// A value that is already canonical JSON (an Exec hook serving
+			// memoized bytes) passes through untouched — re-marshaling would
+			// be identity for compact JSON, but byte-identity is the
+			// invariant, so we never rely on that.
+			raw, ok := val.(json.RawMessage)
+			if !ok {
+				var merr error
+				raw, merr = json.Marshal(val)
+				if merr != nil {
+					o.Err = fmt.Errorf("campaign: %s: marshaling cell value: %w", c.Name, merr)
+					o.Class = ClassDeterministic
+					journalOutcome(j, o, abort)
+					return o
+				}
 			}
 			o.Value = raw
 			o.Err, o.Class = nil, ClassNone
@@ -310,6 +331,9 @@ func attempt(ctx context.Context, c Cell, key string, opts Options) (val any, er
 			val, err = nil, &PanicError{Cell: c.Name, Value: r}
 		}
 	}()
+	if opts.Exec != nil {
+		return opts.Exec(ctx, c, key)
+	}
 	return c.Run(ctx)
 }
 

@@ -34,6 +34,35 @@ func (c Consistency) String() string {
 	return fmt.Sprintf("Consistency(%d)", int(c))
 }
 
+// ParseConsistency resolves a consistency-model name from external input
+// (CLI flags, simulation-server job requests). Matching is case-insensitive.
+func ParseConsistency(s string) (Consistency, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "TSO":
+		return TSO, nil
+	case "RC":
+		return RC, nil
+	}
+	return TSO, fmt.Errorf("config: unknown consistency model %q (want TSO or RC)", s)
+}
+
+// ParseConsistencies resolves a list of model names; an empty list means
+// both evaluated models, in matrix order (TSO then RC).
+func ParseConsistencies(names []string) ([]Consistency, error) {
+	if len(names) == 0 {
+		return []Consistency{TSO, RC}, nil
+	}
+	out := make([]Consistency, len(names))
+	for i, n := range names {
+		cm, err := ParseConsistency(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cm
+	}
+	return out, nil
+}
+
 // Defense selects the processor configuration by registered scheme name.
 // The value is the internal/defense registry key; the constants below name
 // the built-in schemes. An unregistered value fails Scheme() (and so

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"invisispec/internal/runner"
+)
+
+func loadBaseline(t *testing.T) *runner.Bench {
+	t.Helper()
+	f, err := os.Open("../../BENCH_baseline.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	defer f.Close()
+	b, err := runner.ReadBenchJSON(f)
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	return b
+}
+
+func TestRenderIndex(t *testing.T) {
+	var sb strings.Builder
+	d := IndexData{
+		Jobs: []JobRow{
+			{ID: "j1", Type: "sweep", Name: "smoke", State: "done", Completed: 70, Total: 70, CacheHits: 70},
+			{ID: "j2", Type: "leakscan", Name: "x<y", State: "failed", Error: "boom <script>"},
+		},
+		Metrics:   MetricsView{HitRate: 0.5, Hits: 7, Misses: 7, Entries: 14, WorkersTotal: 4},
+		HasTrends: true,
+	}
+	if err := RenderIndex(&sb, d); err != nil {
+		t.Fatalf("RenderIndex: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!doctype html>", "/jobs/j1", "50.0%", "x&lt;y", "boom &lt;script&gt;",
+		"href=\"/trends\"", "prefers-color-scheme: dark",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("index page missing %q", want)
+		}
+	}
+	if strings.Contains(out, "<script>") {
+		t.Error("unescaped script tag in output")
+	}
+}
+
+func TestRenderJobBench(t *testing.T) {
+	b := loadBaseline(t)
+	page := JobPage{
+		Job:   JobRow{ID: "j1", Type: "sweep", Name: b.Name, State: "done", Total: len(b.Runs)},
+		Bench: b,
+	}
+	var sb strings.Builder
+	if err := RenderJob(&sb, page); err != nil {
+		t.Fatalf("RenderJob: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Normalized execution time — TSO", "Defense comparison", "IS-Fu", "?cell=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("job page missing %q", want)
+		}
+	}
+
+	// Drilldown: pick the first run's key and re-render.
+	key := b.Runs[0].RunKey()
+	page.Cell = key
+	sb.Reset()
+	if err := RenderJob(&sb, page); err != nil {
+		t.Fatalf("RenderJob with cell: %v", err)
+	}
+	if !strings.Contains(sb.String(), "Cell "+key) {
+		t.Errorf("drilldown pane missing for %q", key)
+	}
+}
+
+func TestLoadHistoryAndRenderTrends(t *testing.T) {
+	hist, err := LoadHistory("../..")
+	if err != nil {
+		t.Fatalf("LoadHistory: %v", err)
+	}
+	if len(hist) == 0 {
+		t.Skip("no committed BENCH_*.json history")
+	}
+	for _, h := range hist {
+		if len(h.Defenses) == 0 || h.Avg[h.Defenses[0]] == 0 {
+			t.Errorf("history point %s has no averages", h.File)
+		}
+	}
+	var sb strings.Builder
+	if err := RenderTrends(&sb, hist); err != nil {
+		t.Fatalf("RenderTrends: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "<polyline", "Table view", "var(--s1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trends page missing %q", want)
+		}
+	}
+}
+
+func TestRenderTrendsEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTrends(&sb, nil); err != nil {
+		t.Fatalf("RenderTrends(nil): %v", err)
+	}
+	if !strings.Contains(sb.String(), "No BENCH_") {
+		t.Error("empty-history message missing")
+	}
+}

@@ -1,0 +1,231 @@
+package report
+
+// The trends page: per-defense average normalized execution time across the
+// committed BENCH_*.json history, drawn as an inline SVG line chart (2px
+// lines, 8px markers with a 2px surface ring, one y axis, recessive grid)
+// plus its table view. With seven defense series the legend carries identity
+// (direct labels are reserved for charts of four or fewer series).
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+const (
+	chartW     = 760
+	chartH     = 340
+	chartLeft  = 52
+	chartRight = 20
+	chartTop   = 16
+	chartBot   = 44
+)
+
+// RenderTrends writes the history page. Points with no data for a defense
+// simply break that series' line.
+func RenderTrends(w io.Writer, hist []HistoryPoint) error {
+	e := &errWriter{w: w}
+	pageStart(e, "trends — normalized execution time", true)
+
+	if len(hist) == 0 {
+		e.printf("<p class=\"muted\">No BENCH_*.json artifacts in the history directory yet.</p>\n")
+		pageEnd(e)
+		return e.err
+	}
+
+	// Union of defenses across history, in fixed palette-slot order so the
+	// color follows the defense across pages.
+	defs := unionDefenses(hist)
+
+	e.printf("<h2>Average normalized time (TSO) per defense</h2>\n")
+	e.printf("<p class=\"muted\">One point per committed bench artifact, in file-name order. Base is 1.0 by construction.</p>\n")
+	e.printf("<div class=\"legend\">")
+	for _, d := range defs {
+		e.printf("<span>%s%s</span>", chip(seriesSlot(d)), esc(d))
+	}
+	e.printf("</div>\n")
+
+	renderTrendSVG(e, hist, defs)
+
+	// Table view: the accessibility channel for the same data.
+	e.printf("<h3>Table view</h3>\n<table>\n<tr><th>artifact</th><th>name</th><th class=\"num\">runs</th>")
+	for _, d := range defs {
+		e.printf("<th class=\"num\">%s</th>", esc(d))
+	}
+	e.printf("</tr>\n")
+	for _, h := range hist {
+		e.printf("<tr><td>%s</td><td>%s</td><td class=\"num\">%d</td>", esc(h.File), esc(h.Name), h.Runs)
+		for _, d := range defs {
+			if v, ok := h.Avg[d]; ok {
+				e.printf("<td class=\"num\">%.3f</td>", v)
+			} else {
+				e.printf("<td class=\"num muted\">&#8212;</td>")
+			}
+		}
+		e.printf("</tr>\n")
+	}
+	e.printf("</table>\n")
+	pageEnd(e)
+	return e.err
+}
+
+func unionDefenses(hist []HistoryPoint) []string {
+	seen := map[string]bool{}
+	var extra []string
+	for _, h := range hist {
+		for _, d := range h.Defenses {
+			if !seen[d] {
+				seen[d] = true
+				if seriesSlot(d) == 8 {
+					extra = append(extra, d)
+				}
+			}
+		}
+	}
+	var out []string
+	for _, d := range seriesOrder {
+		if seen[d] {
+			out = append(out, d)
+		}
+	}
+	return append(out, extra...)
+}
+
+// renderTrendSVG draws the line chart. Geometry is computed here; the SVG
+// itself is static markup with native <title> tooltips on every marker.
+func renderTrendSVG(e *errWriter, hist []HistoryPoint, defs []string) {
+	ymax := 0.0
+	for _, h := range hist {
+		for _, v := range h.Avg {
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	ymax = niceCeil(ymax * 1.05)
+
+	plotW := float64(chartW - chartLeft - chartRight)
+	plotH := float64(chartH - chartTop - chartBot)
+	xAt := func(i int) float64 {
+		if len(hist) == 1 {
+			return float64(chartLeft) + plotW/2
+		}
+		return float64(chartLeft) + plotW*float64(i)/float64(len(hist)-1)
+	}
+	yAt := func(v float64) float64 {
+		return float64(chartTop) + plotH*(1-v/ymax)
+	}
+
+	e.printf("<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" role=\"img\" aria-label=\"Normalized execution time per defense across bench artifacts\">\n",
+		chartW, chartH, chartW, chartH)
+
+	// Grid and y-axis labels: four even steps, hairline grid, the x baseline
+	// slightly heavier.
+	for i := 0; i <= 4; i++ {
+		v := ymax * float64(i) / 4
+		y := yAt(v)
+		cls := "grid"
+		if i == 0 {
+			cls = "axis"
+		}
+		e.printf("<line class=\"%s\" x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke-width=\"1\"/>\n",
+			cls, chartLeft, y, chartW-chartRight, y)
+		e.printf("<text x=\"%d\" y=\"%.1f\" text-anchor=\"end\" dominant-baseline=\"middle\">%.1f</text>\n",
+			chartLeft-8, y, v)
+	}
+	// X labels: artifact file names, trimmed of the BENCH_ prefix.
+	for i, h := range hist {
+		e.printf("<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%s</text>\n",
+			xAt(i), chartH-chartBot+24, esc(trimBench(h.File)))
+	}
+
+	// Series: 2px line, then 8px markers ringed with the surface color so
+	// overlapping series stay separable.
+	for _, d := range defs {
+		slot := seriesSlot(d)
+		var path []string
+		for i, h := range hist {
+			v, ok := h.Avg[d]
+			if !ok {
+				path = append(path, "") // series break
+				continue
+			}
+			path = append(path, fmt.Sprintf("%.1f,%.1f", xAt(i), yAt(v)))
+		}
+		for _, seg := range segments(path) {
+			if len(seg) > 1 {
+				e.printf("<polyline fill=\"none\" stroke=\"var(--s%d)\" stroke-width=\"2\" points=\"%s\"/>\n",
+					slot, joinPoints(seg))
+			}
+		}
+		for i, h := range hist {
+			v, ok := h.Avg[d]
+			if !ok {
+				continue
+			}
+			e.printf("<circle cx=\"%.1f\" cy=\"%.1f\" r=\"4\" fill=\"var(--s%d)\" stroke=\"var(--surface)\" stroke-width=\"2\">"+
+				"<title>%s — %s: %.3f</title></circle>\n",
+				xAt(i), yAt(v), slot, esc(trimBench(h.File)), esc(d), v)
+		}
+	}
+	e.printf("</svg>\n")
+}
+
+// segments splits a point list at empty entries (missing data) so each
+// contiguous run draws as its own polyline.
+func segments(pts []string) [][]string {
+	var out [][]string
+	var cur []string
+	for _, p := range pts {
+		if p == "" {
+			if len(cur) > 0 {
+				out = append(out, cur)
+				cur = nil
+			}
+			continue
+		}
+		cur = append(cur, p)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func joinPoints(pts []string) string {
+	s := ""
+	for i, p := range pts {
+		if i > 0 {
+			s += " "
+		}
+		s += p
+	}
+	return s
+}
+
+func trimBench(file string) string {
+	const pre, suf = "BENCH_", ".json"
+	s := file
+	if len(s) > len(pre) && s[:len(pre)] == pre {
+		s = s[len(pre):]
+	}
+	if len(s) > len(suf) && s[len(s)-len(suf):] == suf {
+		s = s[:len(s)-len(suf)]
+	}
+	return s
+}
+
+// niceCeil rounds v up to a tidy axis maximum (1-2-2.5-5 progression).
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 1.5, 2, 2.5, 3, 4, 5, 7.5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}

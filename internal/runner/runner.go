@@ -74,7 +74,16 @@ type Options struct {
 	Timeout time.Duration
 	// Progress, when non-nil, receives one line per completed job with
 	// completed/total counts and an ETA extrapolated from throughput so far.
+	// Callers that also write artifacts to stdout should point this at
+	// stderr (or io.Discard) so progress lines never interleave with
+	// artifact bytes; the CLIs do exactly that.
 	Progress io.Writer
+	// OnProgress, when non-nil, receives the same completion events as
+	// Progress but structured, for callers that log in their own format
+	// (the simulation server emits JSON log lines from it). Both may be set;
+	// the callback fires after the line is written, under the same lock, so
+	// events arrive in completion order.
+	OnProgress func(ProgressEvent)
 	// Extra harness options applied to every job (e.g. harness.WithChecking).
 	Harness []harness.Option
 
@@ -158,24 +167,37 @@ func measureJob(ctx context.Context, j Job, extra []harness.Option) (harness.Res
 	return harness.MeasureSPEC(j.Workload, j.Defense, j.Consistency, j.Warmup, j.Measure, opts...)
 }
 
+// ProgressEvent is one completed unit of work, as reported to
+// Options.OnProgress. Counters are cumulative across the Run/RunTasks call.
+type ProgressEvent struct {
+	Name      string        // the task/job that just finished
+	Err       error         // its failure, nil on success
+	Completed int           // tasks finished so far, including this one
+	Failed    int           // failures so far
+	Total     int           // tasks in the matrix
+	Elapsed   time.Duration // wall clock since the pool started
+	ETA       time.Duration // remaining-time estimate from throughput so far
+}
+
 // progress serializes completion reporting across workers.
 type progress struct {
 	mu        sync.Mutex
 	w         io.Writer
+	fn        func(ProgressEvent)
 	total     int
 	completed int
 	failed    int
 	start     time.Time
 }
 
-func newProgress(w io.Writer, total int) *progress {
-	return &progress{w: w, total: total, start: time.Now()}
+func newProgress(w io.Writer, fn func(ProgressEvent), total int) *progress {
+	return &progress{w: w, fn: fn, total: total, start: time.Now()}
 }
 
-// done records one finished unit of work and emits a progress line with an
-// ETA.
+// done records one finished unit of work, emits a progress line with an ETA,
+// and fires the structured callback.
 func (p *progress) done(name string, err error) {
-	if p == nil || p.w == nil {
+	if p == nil || (p.w == nil && p.fn == nil) {
 		return
 	}
 	p.mu.Lock()
@@ -189,13 +211,22 @@ func (p *progress) done(name string, err error) {
 	if p.completed > 0 {
 		eta = time.Duration(float64(elapsed) / float64(p.completed) * float64(p.total-p.completed)).Round(time.Second)
 	}
-	status := "ok"
-	if err != nil {
-		status = "FAIL"
+	if p.w != nil {
+		status := "ok"
+		if err != nil {
+			status = "FAIL"
+		}
+		fmt.Fprintf(p.w, "runner: %d/%d done (%d failed)  last %-28s %-4s  elapsed %s  eta %s\n",
+			p.completed, p.total, p.failed, name, status,
+			elapsed.Round(time.Second), eta)
 	}
-	fmt.Fprintf(p.w, "runner: %d/%d done (%d failed)  last %-28s %-4s  elapsed %s  eta %s\n",
-		p.completed, p.total, p.failed, name, status,
-		elapsed.Round(time.Second), eta)
+	if p.fn != nil {
+		p.fn(ProgressEvent{
+			Name: name, Err: err,
+			Completed: p.completed, Failed: p.failed, Total: p.total,
+			Elapsed: elapsed, ETA: eta,
+		})
+	}
 }
 
 // Matrix builds the cross product (workloads x consistencies x defenses x

@@ -61,7 +61,7 @@ func RunTasks(ctx context.Context, tasks []Task, opts Options) []TaskResult {
 	var (
 		wg    sync.WaitGroup
 		queue = make(chan int)
-		prog  = newProgress(opts.Progress, len(tasks))
+		prog  = newProgress(opts.Progress, opts.OnProgress, len(tasks))
 	)
 	for w := 0; w < opts.workers(len(tasks)); w++ {
 		wg.Add(1)
