@@ -20,7 +20,7 @@ build:
 # Build the CLI gates once into $(BIN); the leakscan/conform/smoke targets
 # run these binaries instead of `go run`, so one compile serves every gate.
 tools:
-	$(GO) build -o $(BIN)/ ./cmd/benchtable ./cmd/benchdiff ./cmd/leakscan ./cmd/conformfuzz ./cmd/simserver
+	$(GO) build -o $(BIN)/ ./cmd/benchtable ./cmd/benchdiff ./cmd/leakscan ./cmd/conformfuzz ./cmd/simserver ./cmd/traceconv ./cmd/tracediff
 
 vet:
 	$(GO) vet ./...

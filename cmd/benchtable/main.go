@@ -54,6 +54,7 @@ var (
 	bjName  = flag.String("benchname", "", "artifact name inside -benchjson (default: fig<N>/table<N>)")
 	bjHost  = flag.Bool("benchhost", true, "include the host wall-time block in -benchjson output (disable for committed baselines)")
 	cmpK    = flag.Bool("comparekernels", false, "re-run the matrix under the cycle-by-cycle stepped kernel, fail unless its results are byte-identical to the fast kernel's, and record both wall times in the -benchjson host block")
+	impDir  = flag.String("import", "", "import *.trace files from this directory as workloads (selectable via -names)")
 	quiet   = flag.Bool("quiet", false, "suppress per-job progress lines on stderr")
 
 	// campaignFlags registers the uniform -journal/-resume/-retries/-isolate
@@ -127,6 +128,12 @@ func csvRow(jr runner.JobResult) {
 }
 
 func main() {
+	// Imported workloads must exist before any cell runs — including in
+	// re-executed -cellworker children, which inherit the parent's
+	// INVISISPEC_IMPORT environment (set below when -import is given).
+	if err := workload.ImportFromEnv(); err != nil {
+		fail(err)
+	}
 	if code, served := campaign.WorkerMain(os.Args, func(ctx context.Context, name string, spec json.RawMessage) (any, error) {
 		s, err := campaign.DecodeSpec[campaign.JobSpec](spec)
 		if err != nil {
@@ -137,6 +144,14 @@ func main() {
 		os.Exit(code)
 	}
 	flag.Parse()
+	if *impDir != "" {
+		if _, err := workload.ImportDir(*impDir); err != nil {
+			fail(err)
+		}
+		if err := workload.SetImportDirs(*impDir); err != nil {
+			fail(err)
+		}
+	}
 	csvClose = csvOpen()
 	switch {
 	case *figure == 4:
@@ -345,17 +360,21 @@ func selectDefenses(needBase bool) []config.Defense {
 	return defs
 }
 
+// selectNames resolves -names through the workload registry: the default
+// is the figure's bench suite, and an explicit subset is validated up
+// front so an unknown name fails with the sorted-suggestion error before
+// any simulation runs, instead of mid-sweep.
 func selectNames(parsec bool) []string {
-	all := workload.SPECNames()
-	if parsec {
-		all = workload.PARSECNames()
-	}
 	if *names == "" {
-		return all
+		return workload.SuiteNames(parsec)
 	}
 	var out []string
 	for _, n := range strings.Split(*names, ",") {
-		out = append(out, strings.TrimSpace(n))
+		n = strings.TrimSpace(n)
+		if _, err := workload.Lookup(n); err != nil {
+			fail(err)
+		}
+		out = append(out, n)
 	}
 	return out
 }

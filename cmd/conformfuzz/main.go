@@ -11,6 +11,13 @@
 // shards programs into kill-on-hang child worker processes (the same binary
 // re-exec'd in -cellworker mode).
 //
+// Imported traces join the gate too: -import DIR replays every *.trace
+// admitted by the workload registry under the full configuration matrix
+// and diffs the committed stream against the recording (-n 0 runs just
+// that check, skipping the fuzz campaign). -emittrace DIR promotes each
+// conforming generated program to a replayable trace in DIR, feeding the
+// import corpus.
+//
 // Exit status: 0 when every program conforms, 1 when any program diverged,
 // errored, or degraded, 2 on usage or I/O failure.
 package main
@@ -22,11 +29,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"invisispec/internal/artifact"
 	"invisispec/internal/campaign"
 	"invisispec/internal/config"
 	"invisispec/internal/conform"
+	"invisispec/internal/trace"
+	"invisispec/internal/workload"
 )
 
 func main() {
@@ -34,6 +44,12 @@ func main() {
 }
 
 func run() int {
+	// Imported workloads register before any program runs — in -cellworker
+	// children too, via the inherited INVISISPEC_IMPORT environment.
+	if err := workload.ImportFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "conformfuzz:", err)
+		return 2
+	}
 	if code, served := campaign.WorkerMain(os.Args, func(ctx context.Context, name string, spec json.RawMessage) (any, error) {
 		s, err := campaign.DecodeSpec[conform.ProgSpec](spec)
 		if err != nil {
@@ -54,11 +70,13 @@ func run() int {
 		jsonOut = flag.String("json", "", "write the full report artifact to this file")
 		quiet   = flag.Bool("q", false, "suppress per-program progress")
 		defsF   = flag.String("defenses", "", "comma-separated defense-scheme subset for the configuration matrix (default: all registered; see invisisim -listdefenses)")
+		impDir  = flag.String("import", "", "replay-check every *.trace in this directory against the configuration matrix (combine with -n 0 to run only that check)")
+		emitDir = flag.String("emittrace", "", "write each conforming generated program to this directory as a replayable .trace")
 	)
 	copts := campaign.AddFlags(flag.CommandLine)
 	flag.Parse()
-	if *n <= 0 {
-		fmt.Fprintln(os.Stderr, "conformfuzz: -n must be positive")
+	if *n <= 0 && !(*n == 0 && *impDir != "") {
+		fmt.Fprintln(os.Stderr, "conformfuzz: -n must be positive (-n 0 is allowed only with -import)")
 		return 2
 	}
 	if *only >= *n {
@@ -69,6 +87,43 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "conformfuzz:", err)
 		return 2
+	}
+
+	importBad := 0
+	if *impDir != "" {
+		names, err := workload.ImportDir(*impDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "conformfuzz:", err)
+			return 2
+		}
+		cfgs := conform.ConfigsFor(defs)
+		for _, wname := range names {
+			w, err := workload.Lookup(wname)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "conformfuzz:", err)
+				return 2
+			}
+			tw, ok := w.(*workload.TraceWorkload)
+			if !ok {
+				continue
+			}
+			divs := conform.CheckImportedTrace(tw.Trace(), cfgs)
+			for _, d := range divs {
+				fmt.Printf("imported %s: DIVERGES %s: %s\n", wname, d.Config, d.Reason)
+			}
+			if len(divs) > 0 {
+				importBad++
+			} else if !*quiet {
+				fmt.Fprintf(os.Stderr, "imported %s: replays byte-identically across %d configs\n", wname, len(cfgs))
+			}
+		}
+		fmt.Printf("conformfuzz: %d imported trace(s), %d diverging\n", len(names), importBad)
+	}
+	if *n == 0 {
+		if importBad > 0 {
+			return 1
+		}
+		return 0
 	}
 
 	opts := conform.Options{
@@ -121,11 +176,46 @@ func run() int {
 			fmt.Println("--- end reproducer ---")
 		}
 	}
+	if *emitDir != "" {
+		if err := emitTraces(*emitDir, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "conformfuzz: %v\n", err)
+			return 2
+		}
+	}
+
 	degraded := campaign.PrintDegraded(os.Stderr, "conformfuzz", rep.Degraded)
 	fmt.Printf("conformfuzz: %d programs × %d configs, %d diverging, %d errors (seed %d)\n",
 		rep.Programs, len(rep.Configs), rep.Diverging, rep.Errors, rep.Seed)
-	if rep.Diverging > 0 || rep.Errors > 0 || degraded {
+	if rep.Diverging > 0 || rep.Errors > 0 || degraded || importBad > 0 {
 		return 1
 	}
 	return 0
+}
+
+// emitTraces promotes every conforming campaign program to a replayable
+// .trace in dir, named exactly as the campaign named it (conform-INDEX-SEED),
+// so a later -import run's divergence reports point back at the same
+// program identity.
+func emitTraces(dir string, rep *conform.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	emitted := 0
+	for _, r := range rep.Runs {
+		if r.Error != "" || len(r.Divergences) > 0 {
+			continue
+		}
+		p := conform.Generate(r.Seed)
+		p.Name = fmt.Sprintf("conform-%d-%x", r.Index, r.Seed)
+		t, err := conform.EmitTrace(p)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteFile(filepath.Join(dir, p.Name+".trace"), t); err != nil {
+			return err
+		}
+		emitted++
+	}
+	fmt.Printf("conformfuzz: %d conforming trace(s) written to %s\n", emitted, dir)
+	return nil
 }

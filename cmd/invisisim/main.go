@@ -23,7 +23,6 @@ import (
 	"invisispec/internal/engine"
 	"invisispec/internal/harness"
 	"invisispec/internal/invariant"
-	"invisispec/internal/isa"
 	"invisispec/internal/sim"
 	"invisispec/internal/stats"
 	"invisispec/internal/workload"
@@ -46,17 +45,35 @@ func main() {
 		faultSeed   = flag.Int64("faultseed", 0, "non-zero: inject deterministic NoC/DRAM timing faults with this seed")
 		timeout     = flag.Duration("timeout", 0, "non-zero: abort the run after this much host wall-clock time (cooperative, via the simulation loop)")
 		kernelName  = flag.String("kernel", "fast", "simulation kernel: fast (quiescence-aware fast-forward) | stepped (cycle-by-cycle reference); both produce identical results")
+		importDir   = flag.String("import", "", "import *.trace files from this directory as workloads before resolving -workload")
 	)
+	check(workload.ImportFromEnv())
 	flag.Parse()
 
+	if *importDir != "" {
+		_, err := workload.ImportDir(*importDir)
+		check(err)
+	}
 	if *list {
 		fmt.Println("SPEC-like kernels (1 core):")
-		for _, n := range workload.SPECNames() {
+		for _, n := range workload.SuiteNames(false) {
 			fmt.Printf("  %s\n", n)
 		}
 		fmt.Println("PARSEC-like kernels (8 cores):")
-		for _, n := range workload.PARSECNames() {
+		for _, n := range workload.SuiteNames(true) {
 			fmt.Printf("  %s\n", n)
+		}
+		var rest []workload.Workload
+		for _, w := range workload.All() {
+			if w.Class() != workload.ClassBench {
+				rest = append(rest, w)
+			}
+		}
+		if len(rest) > 0 {
+			fmt.Println("other workloads:")
+			for _, w := range rest {
+				fmt.Printf("  %s (%s, %d core(s))\n", w.Name(), w.Class(), w.DefaultCores())
+			}
 		}
 		return
 	}
@@ -80,17 +97,13 @@ func main() {
 	kernel, err := engine.ParseKernel(*kernelName)
 	check(err)
 
-	parsec := false
-	if _, err := workload.PARSECProfile(*name); err == nil {
-		parsec = true
-	} else if _, err := workload.SPECProfile(*name); err != nil {
-		check(fmt.Errorf("unknown workload %q (try -list)", *name))
-	}
+	w, err := workload.Lookup(*name)
+	check(err)
 
 	if *traceN > 0 {
 		// The trace loop steps one cycle at a time by construction (it needs
 		// every commit event in order), so -kernel does not apply there.
-		check(traceRun(*name, parsec, d, cm, *traceN, *doCheck, *checkEvery, *faultSeed, *timeout))
+		check(traceRun(w, d, cm, *traceN, *doCheck, *checkEvery, *faultSeed, *timeout))
 		return
 	}
 	opts := []harness.Option{harness.WithKernel(kernel)}
@@ -105,12 +118,7 @@ func main() {
 		defer cancel()
 		opts = append(opts, harness.WithContext(ctx))
 	}
-	var r harness.Result
-	if parsec {
-		r, err = harness.MeasurePARSEC(*name, d, cm, *warmup, *measure, opts...)
-	} else {
-		r, err = harness.MeasureSPEC(*name, d, cm, *warmup, *measure, opts...)
-	}
+	r, err := harness.MeasureWorkload(*name, d, cm, *warmup, *measure, opts...)
 	check(err)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -142,14 +150,11 @@ func main() {
 // hardening flags apply here too (a violation aborts the trace), as does
 // -timeout (the manual step loop polls the deadline at the same stride the
 // harness path does).
-func traceRun(name string, parsec bool, d config.Defense, cm config.Consistency, n int, doCheck bool, checkEvery uint64, faultSeed int64, timeout time.Duration) error {
-	cores := 1
-	var progs []*isa.Program
-	if parsec {
-		cores = 8
-		progs = workload.MustPARSEC(name, cores)
-	} else {
-		progs = []*isa.Program{workload.MustSPEC(name)}
+func traceRun(w workload.Workload, d config.Defense, cm config.Consistency, n int, doCheck bool, checkEvery uint64, faultSeed int64, timeout time.Duration) error {
+	cores := w.DefaultCores()
+	progs, err := w.Programs(cores)
+	if err != nil {
+		return err
 	}
 	run := config.Run{Machine: config.Default(cores), Defense: d, Consistency: cm}
 	m, err := sim.New(run, progs)

@@ -31,15 +31,24 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"invisispec/internal/artifact"
 	"invisispec/internal/campaign"
 	"invisispec/internal/config"
 	"invisispec/internal/leakage"
+	"invisispec/internal/workload"
 )
 
 func main() {
+	// Imported workloads register before any trial runs — in -cellworker
+	// children too, via the inherited INVISISPEC_IMPORT environment.
+	if err := workload.ImportFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "leakscan:", err)
+		os.Exit(2)
+	}
 	if code, served := campaign.WorkerMain(os.Args, func(ctx context.Context, name string, spec json.RawMessage) (any, error) {
 		s, err := campaign.DecodeSpec[leakage.TrialSpec](spec)
 		if err != nil {
@@ -51,7 +60,7 @@ func main() {
 	}
 
 	var (
-		corpus   = flag.String("corpus", "smoke", "attack corpus: smoke or fuzz")
+		corpus   = flag.String("corpus", "smoke", "attack corpus: smoke, fuzz, or none (imported cells only)")
 		seed     = flag.Int64("seed", 1, "fuzz corpus seed (-corpus fuzz)")
 		n        = flag.Int("n", 12, "fuzz corpus size (-corpus fuzz)")
 		trials   = flag.Int("trials", 3, "trials per (attack, defense) cell")
@@ -62,9 +71,22 @@ func main() {
 		host     = flag.Bool("host", false, "include the nondeterministic host block in the JSON artifact")
 		verbose  = flag.Bool("v", false, "print per-cell progress lines to stderr")
 		defsF    = flag.String("defenses", "", "comma-separated defense-scheme subset for the matrix columns (default: all registered; see invisisim -listdefenses)")
+		impDir   = flag.String("import", "", "import *.trace files from this directory as workloads before the scan")
+		imported = flag.String("imported", "", "comma-separated imported-attack cells, each name[:secret] (secret defaults to 84, the canonical Spectre); scanned as canonical-Spectre specs replaying the named workload")
 	)
 	copts := campaign.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *impDir != "" {
+		if _, err := workload.ImportDir(*impDir); err != nil {
+			fmt.Fprintln(os.Stderr, "leakscan:", err)
+			os.Exit(2)
+		}
+		if err := workload.SetImportDirs(*impDir); err != nil {
+			fmt.Fprintln(os.Stderr, "leakscan:", err)
+			os.Exit(2)
+		}
+	}
 
 	defs, err := config.ParseDefenses(*defsF)
 	if err != nil {
@@ -78,8 +100,20 @@ func main() {
 		specs = leakage.SmokeCorpus()
 	case "fuzz":
 		specs = leakage.Corpus(*seed, *n)
+	case "none":
+		// Imported cells only (-imported).
 	default:
-		fmt.Fprintf(os.Stderr, "leakscan: unknown corpus %q (want smoke or fuzz)\n", *corpus)
+		fmt.Fprintf(os.Stderr, "leakscan: unknown corpus %q (want smoke, fuzz, or none)\n", *corpus)
+		os.Exit(2)
+	}
+	importedSpecs, err := parseImported(*imported)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakscan:", err)
+		os.Exit(2)
+	}
+	specs = append(specs, importedSpecs...)
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "leakscan: empty scan (-corpus none needs -imported cells)")
 		os.Exit(2)
 	}
 	reportName := *name
@@ -158,4 +192,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nleakscan: PASS — every defense blocks what it claims to block, every expected leak observed")
+}
+
+// parseImported turns the -imported list into attack specs: each entry is
+// name[:secret], scanned as the canonical Spectre spec (16 rounds, 256x64
+// probe, both flushes) replaying the named imported workload — the
+// recording this matches is `traceconv -record spectre` (secret 84) or a
+// re-parameterized SpectreV1With dump whose secret is given after the
+// colon. The expected-outcome matrix is driven by those spec parameters,
+// so a mismatched recording shows up as a verdict violation.
+func parseImported(list string) ([]leakage.AttackSpec, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var specs []leakage.AttackSpec
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		name, secretStr, hasSecret := strings.Cut(item, ":")
+		secret := 84
+		if hasSecret {
+			v, err := strconv.Atoi(secretStr)
+			if err != nil || v < 1 || v > 255 {
+				return nil, fmt.Errorf("bad -imported entry %q: secret must be 1..255", item)
+			}
+			secret = v
+		}
+		if _, err := workload.Lookup(name); err != nil {
+			return nil, err
+		}
+		specs = append(specs, leakage.CanonicalSpectreSpec(byte(secret)).ViaWorkload(name))
+	}
+	return specs, nil
 }

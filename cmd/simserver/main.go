@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"invisispec/internal/serve"
+	"invisispec/internal/workload"
 )
 
 func main() {
@@ -55,9 +56,24 @@ func realMain(args []string, stdout, stderr *os.File) int {
 		retries    = fs.Int("retries", 0, "transient-failure retries per cell")
 		timeout    = fs.Duration("cell-timeout", 5*time.Minute, "per-cell wall-clock timeout (0 = none)")
 		drainWait  = fs.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight cells on shutdown")
+		impDir     = fs.String("import", "", "import *.trace files from this directory as workloads before serving")
 	)
+	if err := workload.ImportFromEnv(); err != nil {
+		fmt.Fprintln(stderr, "simserver:", err)
+		return 1
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *impDir != "" {
+		if _, err := workload.ImportDir(*impDir); err != nil {
+			fmt.Fprintln(stderr, "simserver:", err)
+			return 1
+		}
+		if err := workload.SetImportDirs(*impDir); err != nil {
+			fmt.Fprintln(stderr, "simserver:", err)
+			return 1
+		}
 	}
 	if *journalDir != "" {
 		if err := os.MkdirAll(*journalDir, 0o755); err != nil {

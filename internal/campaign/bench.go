@@ -58,10 +58,9 @@ func RunJobSpec(ctx context.Context, s JobSpec) (harness.Result, error) {
 	if s.FaultSeed != 0 {
 		opts = append(opts, harness.WithFaultSeed(s.FaultSeed))
 	}
-	if s.Parsec {
-		return harness.MeasurePARSEC(s.Workload, s.Defense, s.Consistency, s.Warmup, s.Measure, opts...)
-	}
-	return harness.MeasureSPEC(s.Workload, s.Defense, s.Consistency, s.Warmup, s.Measure, opts...)
+	// s.Parsec stays part of the content identity (journal hashes predate
+	// the registry) but dispatch is the registry's job now.
+	return harness.MeasureWorkload(s.Workload, s.Defense, s.Consistency, s.Warmup, s.Measure, opts...)
 }
 
 // JobCells wraps an experiment matrix as campaign cells under one kernel.

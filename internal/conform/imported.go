@@ -1,0 +1,69 @@
+package conform
+
+// Imported-trace conformance: where the generated-program campaign
+// compares FINAL architectural state against the golden interpreter, an
+// imported trace carries its whole committed stream, so the replay check
+// is stronger — every configuration must commit the recorded stream
+// event for event (trace.Diff semantics: cycles and OpCycle values are
+// timing, everything else is architecture). conformfuzz -import runs this
+// over a corpus directory; the same check also backs the conform-fuzzer
+// reproducer promotion path (EmitTrace -> workload.ImportDir).
+
+import (
+	"fmt"
+
+	"invisispec/internal/config"
+	"invisispec/internal/harness"
+	"invisispec/internal/isa"
+	"invisispec/internal/trace"
+)
+
+// EmitTrace promotes a conformance program (a generated case or a
+// minimized reproducer) to an importable replayable trace: the golden
+// interpreter's committed stream plus the program image. The program must
+// halt within the interpreter budget — the same admission rule the
+// differential campaign applies to its inputs.
+func EmitTrace(p *isa.Program) (*trace.Trace, error) {
+	t, halted := trace.RecordInterp(p.Name, p, interpBudget)
+	if !halted {
+		return nil, fmt.Errorf("conform: %s: program did not halt within the %d-step interpreter budget", p.Name, interpBudget)
+	}
+	return t, nil
+}
+
+// CheckImportedTrace replays a single-core imported trace under every
+// configuration in cfgs and diffs the committed stream against the
+// recording. Multi-core traces return nil: their recorded interleaving is
+// schedule-dependent, so only the structural import gates apply to them.
+//
+// Programs that derive register values from OpCycle reads (latency
+// arithmetic in attack gadgets) are outside this check's scope: the
+// derived values are timing, but the differ can only exempt the cycle
+// reads themselves. Import such traces for sweeps and leakage scans, not
+// for the conformance gate.
+func CheckImportedTrace(t *trace.Trace, cfgs []Config) []Divergence {
+	if len(t.Programs) != 1 {
+		return nil
+	}
+	n := uint64(len(t.Events[0]))
+	var divs []Divergence
+	for _, cfg := range cfgs {
+		run := config.Run{Machine: config.Default(1), Defense: cfg.Defense, Consistency: cfg.Consistency}
+		rec, err := harness.Record(run, t.Name, t.Programs, n, harness.WithKernel(cfg.Kernel))
+		if err != nil {
+			divs = append(divs, Divergence{Config: cfg.String(), Reason: "simulator error: " + firstLine(err.Error())})
+			continue
+		}
+		got := rec.Events[0]
+		if uint64(len(got)) < n {
+			divs = append(divs, Divergence{Config: cfg.String(),
+				Reason: fmt.Sprintf("committed %d of %d recorded instructions", len(got), n)})
+			continue
+		}
+		if i, why := trace.Diff(t.Events[0], got); i != -1 {
+			divs = append(divs, Divergence{Config: cfg.String(),
+				Reason: fmt.Sprintf("commit %d: %s", i, why)})
+		}
+	}
+	return divs
+}

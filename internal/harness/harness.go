@@ -11,11 +11,13 @@ import (
 	"fmt"
 
 	"invisispec/internal/config"
+	"invisispec/internal/core"
 	"invisispec/internal/engine"
 	"invisispec/internal/invariant"
 	"invisispec/internal/isa"
 	"invisispec/internal/sim"
 	"invisispec/internal/stats"
+	"invisispec/internal/trace"
 	"invisispec/internal/workload"
 )
 
@@ -223,6 +225,95 @@ func Complete(run config.Run, name string, progs []*isa.Program, maxCycles uint6
 	return m, nil
 }
 
+// Record runs progs under run until every core has committed n
+// instructions (or the machine halts, whichever is first) and returns the
+// per-core committed streams as a replayable trace. It shares Measure's
+// option surface — kernel selection matters here because the recorded
+// cycles are kernel-independent only because the equivalence oracle makes
+// them so; Record under both kernels is how the trace tests check that.
+func Record(run config.Run, name string, progs []*isa.Program, n uint64, opts ...Option) (t *trace.Trace, err error) {
+	var mo measureOpts
+	for _, o := range opts {
+		o(&mo)
+	}
+	m, err := sim.New(run, progs)
+	if err != nil {
+		return nil, fmt.Errorf("%s [%v/%v] setup: %w", name, run.Defense, run.Consistency, err)
+	}
+	if mo.kernel != nil {
+		m.SetKernel(*mo.kernel)
+	}
+	if mo.faultSeed != nil {
+		m.SeedFaults(*mo.faultSeed)
+	}
+	if mo.check != nil {
+		m.EnableChecking(*mo.check)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			cycle := m.Cycle()
+			tg := &invariant.Target{Cycle: cycle, Run: run, Cores: m.Cores, Hier: m.Hier}
+			tg.FFJumps, tg.FFSkipped = m.FastForwardStats()
+			dump := invariant.Dump(tg)
+			t = nil
+			err = fmt.Errorf("%s [%v/%v]: panic at cycle %d: %v\n%s", name, run.Defense, run.Consistency, cycle, r, dump)
+		}
+	}()
+	events := make([][]trace.Event, len(progs))
+	full := 0
+	for i := range m.Cores {
+		i := i
+		m.Cores[i].SetTracer(func(ev core.CommitEvent) {
+			if uint64(len(events[i])) < n {
+				events[i] = append(events[i], trace.FromCommit(ev))
+				if uint64(len(events[i])) == n {
+					full++
+				}
+			}
+		})
+	}
+	runCtx := mo.ctx
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
+	// Constant headroom on top of the per-instruction budget so very short
+	// recordings (conformance reproducers) still cover pipeline fill.
+	budget := 100_000 + n*uint64(len(progs))*budgetPerInstruction
+	if err := m.RunInstructionsCtx(runCtx, n*uint64(len(progs)), budget); err != nil {
+		return nil, fmt.Errorf("%s [%v/%v] record: %w", name, run.Defense, run.Consistency, err)
+	}
+	// Unbalanced multi-core progress can leave some cores short of n while
+	// the retired total is already met; top off one milestone at a time.
+	for full < len(progs) && !m.Done() {
+		if m.Cycle() >= budget {
+			break
+		}
+		if err := m.RunInstructionsCtx(runCtx, m.Stats.TotalRetired()+1, budget); err != nil {
+			return nil, fmt.Errorf("%s [%v/%v] record: %w", name, run.Defense, run.Consistency, err)
+		}
+	}
+	return &trace.Trace{Name: name, Programs: progs, Events: events}, nil
+}
+
+// MeasureWorkload measures any registered workload on its default machine
+// size: 1 core for the SPEC kernels and attack programs, 8 for PARSEC,
+// the recorded width for imported traces. It is the single resolution
+// path the runner, campaign executor, and CLIs share — the per-matrix
+// SPEC/PARSEC dispatch lives in the registry now, not at call sites.
+func MeasureWorkload(name string, d config.Defense, cm config.Consistency, warmup, measure uint64, opts ...Option) (Result, error) {
+	w, err := workload.Lookup(name)
+	if err != nil {
+		return Result{}, err
+	}
+	cores := w.DefaultCores()
+	progs, err := w.Programs(cores)
+	if err != nil {
+		return Result{}, err
+	}
+	run := config.Run{Machine: config.Default(cores), Defense: d, Consistency: cm}
+	return Measure(run, name, progs, warmup, measure, opts...)
+}
+
 // MeasureSPEC measures one SPEC-like kernel on the 1-core machine.
 func MeasureSPEC(name string, d config.Defense, cm config.Consistency, warmup, measure uint64, opts ...Option) (Result, error) {
 	prog, err := workload.SPEC(name)
@@ -251,18 +342,13 @@ func MeasurePARSEC(name string, d config.Defense, cm config.Consistency, warmup,
 // go through internal/runner instead, which shards the same jobs across a
 // worker pool; runner's determinism tests assert its aggregated output is
 // byte-identical to what this function produces.
+// The parsec flag is identity metadata only (it names the figure axis in
+// artifacts and journals); the registry decides the machine size.
 func Sweep(name string, parsec bool, cm config.Consistency, warmup, measure uint64) (map[config.Defense]Result, error) {
+	_ = parsec
 	out := make(map[config.Defense]Result, len(config.AllDefenses()))
 	for _, d := range config.AllDefenses() {
-		var (
-			r   Result
-			err error
-		)
-		if parsec {
-			r, err = MeasurePARSEC(name, d, cm, warmup, measure)
-		} else {
-			r, err = MeasureSPEC(name, d, cm, warmup, measure)
-		}
+		r, err := MeasureWorkload(name, d, cm, warmup, measure)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", name, d, err)
 		}

@@ -40,6 +40,17 @@ func (s AttackSpec) withID() AttackSpec {
 	return s
 }
 
+// ViaWorkload returns a copy of the spec that resolves its programs
+// through the named registry workload — an imported trace recorded from a
+// program this spec's parameters describe. The ID gains an "@workload"
+// suffix so scan cells and journal identities stay distinct from the
+// template-assembled spec's.
+func (s AttackSpec) ViaWorkload(name string) AttackSpec {
+	s.Workload = name
+	s.ID += "@" + name
+	return s
+}
+
 // spectreSpec builds a same-thread Spectre spec with the canonical flush
 // settings.
 func spectreSpec(secret byte, rounds, lines, stride int) AttackSpec {

@@ -83,6 +83,15 @@ type AttackSpec struct {
 	// leak under IS-Sp/IS-Fu — deliberately, to pin the threat-model
 	// boundary; the report marks those cells as expected leaks.
 	TrustAnnotations bool
+	// Workload, when set, resolves the programs through the workload
+	// registry instead of assembling the template — the imported-trace
+	// path: a recorded attack replays byte-identically while the template
+	// and geometry fields keep driving the expected-outcome matrix, the
+	// probe scan, and the machine shape. The named workload must have been
+	// recorded from a program this spec's parameters describe; the
+	// omitempty tag keeps journal identities of template-assembled specs
+	// unchanged.
+	Workload string `json:",omitempty"`
 }
 
 // params converts the spec to the workload parameter block.
@@ -134,8 +143,24 @@ func (s AttackSpec) Machine() config.Machine {
 	return m
 }
 
-// Programs assembles the spec, one program per core.
+// Programs assembles the spec, one program per core: from the registry
+// when Workload names an imported recording, from the template otherwise.
 func (s AttackSpec) Programs() ([]*isa.Program, error) {
+	if s.Workload != "" {
+		w, err := workload.Lookup(s.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+		progs, err := w.Programs(w.DefaultCores())
+		if err != nil {
+			return nil, fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+		if len(progs) != s.Cores() {
+			return nil, fmt.Errorf("leakage: %s: workload %q provides %d core(s), template %s needs %d",
+				s.ID, s.Workload, len(progs), s.Template, s.Cores())
+		}
+		return progs, nil
+	}
 	switch s.Template {
 	case TemplateSpectre:
 		p, err := workload.SpectreV1With(s.params())

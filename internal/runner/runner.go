@@ -153,7 +153,8 @@ func Run(ctx context.Context, jobs []Job, opts Options) []JobResult {
 }
 
 // measureJob is the production measurement path: harness.Measure on a fresh
-// machine, via the SPEC or PARSEC wrapper.
+// machine, with the workload registry resolving the name and machine size
+// (j.Parsec is identity metadata in artifacts, not a dispatch input).
 func measureJob(ctx context.Context, j Job, extra []harness.Option) (harness.Result, error) {
 	opts := make([]harness.Option, 0, len(extra)+2)
 	opts = append(opts, extra...)
@@ -161,10 +162,7 @@ func measureJob(ctx context.Context, j Job, extra []harness.Option) (harness.Res
 	if j.FaultSeed != 0 {
 		opts = append(opts, harness.WithFaultSeed(j.FaultSeed))
 	}
-	if j.Parsec {
-		return harness.MeasurePARSEC(j.Workload, j.Defense, j.Consistency, j.Warmup, j.Measure, opts...)
-	}
-	return harness.MeasureSPEC(j.Workload, j.Defense, j.Consistency, j.Warmup, j.Measure, opts...)
+	return harness.MeasureWorkload(j.Workload, j.Defense, j.Consistency, j.Warmup, j.Measure, opts...)
 }
 
 // ProgressEvent is one completed unit of work, as reported to

@@ -91,10 +91,14 @@ func (r *JobRequest) normalize() error {
 	switch r.Type {
 	case TypeSweep:
 		if len(r.Workloads) == 0 {
-			if r.Parsec {
-				r.Workloads = workload.PARSECNames()
-			} else {
-				r.Workloads = workload.SPECNames()
+			r.Workloads = workload.SuiteNames(r.Parsec)
+		}
+		// Validate names at submission, not at cell time: a typo'd workload
+		// fails the POST with the sorted registry listing, instead of
+		// surfacing mid-campaign as degraded cells.
+		for _, name := range r.Workloads {
+			if _, err := workload.Lookup(name); err != nil {
+				return err
 			}
 		}
 		if r.Warmup == 0 {

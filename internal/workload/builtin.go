@@ -1,0 +1,86 @@
+package workload
+
+// Built-in registry entries: the 23 SPEC kernels and 9 PARSEC kernels in
+// paper order (their registration order is part of the deterministic
+// artifact byte layout, like the defense registry's), plus the canonical
+// attack programs the leakage scanner assembles, registered so recorded
+// attack traces have a named built-in counterpart to diff against.
+
+import (
+	"fmt"
+
+	"invisispec/internal/isa"
+)
+
+func init() {
+	for _, p := range specProfiles {
+		MustRegister(specWorkload{p})
+	}
+	for _, p := range parsecProfiles {
+		MustRegister(parsecWorkload{p})
+	}
+	// Attack entries use the smoke-corpus canonical parameters (see
+	// leakage.SmokeCorpus): spectre is the canonical Spectre-V1 gadget
+	// with secret byte 84, meltdown the user/kernel variant with secret
+	// byte 90. Both halt, so they record end-to-end.
+	MustRegister(attackWorkload{
+		name:  "spectre",
+		build: func() (*isa.Program, error) { return SpectreV1With(CanonicalSpectre(84)) },
+	})
+	MustRegister(attackWorkload{
+		name:  "meltdown",
+		build: func() (*isa.Program, error) { return Meltdown(90), nil },
+	})
+}
+
+// specWorkload adapts a SpecProfile to the registry: a 1-core bench
+// kernel built exactly as SPEC(name) builds it.
+type specWorkload struct{ p SpecProfile }
+
+func (w specWorkload) Name() string      { return w.p.Name }
+func (w specWorkload) Class() Class      { return ClassBench }
+func (w specWorkload) DefaultCores() int { return 1 }
+
+func (w specWorkload) Programs(cores int) ([]*isa.Program, error) {
+	if cores != 1 {
+		return nil, fmt.Errorf("workload: SPEC kernel %q is single-core, not %d-core", w.p.Name, cores)
+	}
+	return []*isa.Program{buildSpecKernel(w.p)}, nil
+}
+
+// parsecWorkload adapts a ParsecProfile: a multi-core bench kernel built
+// exactly as PARSEC(name, cores) builds it, defaulting to the paper's
+// 8-core configuration.
+type parsecWorkload struct{ p ParsecProfile }
+
+func (w parsecWorkload) Name() string      { return w.p.Name }
+func (w parsecWorkload) Class() Class      { return ClassBench }
+func (w parsecWorkload) DefaultCores() int { return 8 }
+
+func (w parsecWorkload) Programs(cores int) ([]*isa.Program, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("workload: PARSEC kernel %q needs at least one core", w.p.Name)
+	}
+	return PARSEC(w.p.Name, cores)
+}
+
+// attackWorkload wraps a single-core attack program builder.
+type attackWorkload struct {
+	name  string
+	build func() (*isa.Program, error)
+}
+
+func (w attackWorkload) Name() string      { return w.name }
+func (w attackWorkload) Class() Class      { return ClassAttack }
+func (w attackWorkload) DefaultCores() int { return 1 }
+
+func (w attackWorkload) Programs(cores int) ([]*isa.Program, error) {
+	if cores != 1 {
+		return nil, fmt.Errorf("workload: attack %q is single-core, not %d-core", w.name, cores)
+	}
+	p, err := w.build()
+	if err != nil {
+		return nil, err
+	}
+	return []*isa.Program{p}, nil
+}

@@ -1,0 +1,227 @@
+package workload_test
+
+// Registry contract tests, mirroring the defense registry's: the built-in
+// registration order is part of the deterministic artifact byte layout, the
+// rejection paths must never leak a partial registration, and Lookup errors
+// must be self-documenting (sorted name listing).
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"invisispec/internal/isa"
+	"invisispec/internal/workload"
+)
+
+// stub is a minimal registrable workload for registry-error tests. It is
+// only ever passed to Register with names the registry must reject, so no
+// test entry can pollute the global registration order.
+type stub struct{ name string }
+
+func (s stub) Name() string                         { return s.name }
+func (s stub) Class() workload.Class                { return workload.ClassBench }
+func (s stub) DefaultCores() int                    { return 1 }
+func (s stub) Programs(int) ([]*isa.Program, error) { return nil, nil }
+
+// builtinNames is the required registration-order prefix: the 23 SPEC
+// kernels in Figure 4 order, the 9 PARSEC kernels in Figure 7 order, then
+// the canonical attack programs. Runtime imports (other tests register
+// some) append after this prefix and must never reorder it.
+func builtinNames() []string {
+	names := append([]string{}, workload.SPECNames()...)
+	names = append(names, workload.PARSECNames()...)
+	return append(names, "spectre", "meltdown")
+}
+
+func TestBuiltinRegistrationOrder(t *testing.T) {
+	want := builtinNames()
+	if len(want) != 34 {
+		t.Fatalf("built-in workload count = %d, want 34 (23 SPEC + 9 PARSEC + 2 attacks)", len(want))
+	}
+	names := workload.Names()
+	if len(names) < len(want) {
+		t.Fatalf("registry has %d workloads, want at least %d", len(names), len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	all := workload.All()
+	for i, n := range want {
+		if all[i].Name() != n {
+			t.Errorf("All()[%d].Name() = %q, want %q", i, all[i].Name(), n)
+		}
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := workload.All()
+	a[0] = stub{name: "clobbered"}
+	if workload.All()[0].Name() != workload.SPECNames()[0] {
+		t.Fatal("mutating All()'s result corrupted the registry")
+	}
+}
+
+func TestSuiteNames(t *testing.T) {
+	if got, want := workload.SuiteNames(false), workload.SPECNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("SuiteNames(false) = %v, want the SPEC suite %v", got, want)
+	}
+	if got, want := workload.SuiteNames(true), workload.PARSECNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("SuiteNames(true) = %v, want the PARSEC suite %v", got, want)
+	}
+}
+
+func TestRegisterRejections(t *testing.T) {
+	before := workload.Names()
+	cases := []struct {
+		label string
+		w     workload.Workload
+		want  string
+	}{
+		{"duplicate", stub{name: "hmmer"}, "duplicate"},
+		{"empty", stub{name: ""}, "empty name"},
+		{"comma", stub{name: "a,b"}, "separator"},
+		{"space", stub{name: "a b"}, "separator"},
+		{"tab", stub{name: "a\tb"}, "separator"},
+		{"newline", stub{name: "a\nb"}, "separator"},
+	}
+	for _, c := range cases {
+		err := workload.Register(c.w)
+		if err == nil {
+			t.Errorf("%s: Register(%q) accepted", c.label, c.w.Name())
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.label, err, c.want)
+		}
+	}
+	if !reflect.DeepEqual(workload.Names(), before) {
+		t.Fatalf("rejected registrations changed the registry: %v", workload.Names())
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister(duplicate) did not panic")
+		}
+	}()
+	workload.MustRegister(stub{name: "hmmer"})
+}
+
+func TestLookup(t *testing.T) {
+	for _, n := range builtinNames() {
+		w, err := workload.Lookup(n)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", n, err)
+			continue
+		}
+		if w.Name() != n {
+			t.Errorf("Lookup(%q).Name() = %q", n, w.Name())
+		}
+	}
+	_, err := workload.Lookup("no-such-workload")
+	if err == nil {
+		t.Fatal("Lookup resolved an unregistered name")
+	}
+	// The error must list every registered name, sorted, so a CLI typo is
+	// self-diagnosing.
+	msg := err.Error()
+	_, listing, ok := strings.Cut(msg, "registered: ")
+	if !ok {
+		t.Fatalf("Lookup error %q carries no registered-name listing", msg)
+	}
+	listed := strings.Split(listing, ", ")
+	if !sort.StringsAreSorted(listed) {
+		t.Errorf("Lookup error listing is not sorted: %q", listing)
+	}
+	for _, n := range workload.Names() {
+		if !strings.Contains(msg, n) {
+			t.Errorf("Lookup error does not list %q", n)
+		}
+	}
+}
+
+func TestBuiltinClassesAndPrograms(t *testing.T) {
+	// SPEC: single-core bench kernels, byte-equivalent to SPEC(name).
+	hmmer, err := workload.Lookup("hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hmmer.Class() != workload.ClassBench || hmmer.DefaultCores() != 1 {
+		t.Errorf("hmmer: class %v cores %d, want bench 1", hmmer.Class(), hmmer.DefaultCores())
+	}
+	progs, err := hmmer.Programs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(progs[0], workload.MustSPEC("hmmer")) {
+		t.Error("registry hmmer differs from SPEC(\"hmmer\")")
+	}
+	if _, err := hmmer.Programs(2); err == nil {
+		t.Error("SPEC kernel accepted a 2-core build")
+	}
+
+	// PARSEC: multi-core bench kernels, byte-equivalent to PARSEC(name, n).
+	canneal, err := workload.Lookup("canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canneal.Class() != workload.ClassBench || canneal.DefaultCores() != 8 {
+		t.Errorf("canneal: class %v cores %d, want bench 8", canneal.Class(), canneal.DefaultCores())
+	}
+	cprogs, err := canneal.Programs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cprogs, workload.MustPARSEC("canneal", 4)) {
+		t.Error("registry canneal differs from PARSEC(\"canneal\", 4)")
+	}
+
+	// Attacks: the smoke-corpus canonical builds.
+	spectre, err := workload.Lookup("spectre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spectre.Class() != workload.ClassAttack || spectre.DefaultCores() != 1 {
+		t.Errorf("spectre: class %v cores %d, want attack 1", spectre.Class(), spectre.DefaultCores())
+	}
+	sprogs, err := spectre.Programs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := workload.SpectreV1With(workload.CanonicalSpectre(84))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sprogs[0], want) {
+		t.Error("registry spectre differs from the canonical secret-84 gadget")
+	}
+	meltdown, err := workload.Lookup("meltdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mprogs, err := meltdown.Programs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mprogs[0], workload.Meltdown(90)) {
+		t.Error("registry meltdown differs from Meltdown(90)")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	cases := map[workload.Class]string{
+		workload.ClassBench:    "bench",
+		workload.ClassAttack:   "attack",
+		workload.ClassImported: "imported",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
