@@ -10,7 +10,7 @@ JOBS ?= 4
 BIN = bin
 SMOKE_FLAGS = -fig 4 -warmup 5000 -measure 20000 -jobs $(JOBS) -quiet
 
-.PHONY: all build tools test vet lint race check ci bench smoke benchdiff baseline leakscan kernelcheck conform chaos serve
+.PHONY: all build tools test vet lint race check ci bench smoke benchdiff baseline leakscan leaksearch kernelcheck conform chaos serve
 
 all: build
 
@@ -56,7 +56,7 @@ check: build vet race
 # attached without changing the local gate. One race-instrumented suite
 # pass (inside check) covers kernelcheck and chaos; the CLI gates reuse
 # the binaries `tools` built.
-ci: check lint leakscan conform
+ci: check lint leakscan leaksearch conform
 
 # Resilience gate: the seeded chaos self-tests kill journaled bench,
 # leakage, and conformance campaigns at randomized checkpoint appends
@@ -95,6 +95,14 @@ benchdiff: smoke
 # artifact.
 leakscan: tools
 	$(BIN)/leakscan -corpus smoke -trials 3 -jobs $(JOBS) -json LEAKAGE_smoke.json
+
+# Feedback-driven attack search smoke: a fixed-seed, small-budget
+# hill-climb over every template class against the full defense matrix.
+# Fails (exit 1) if any searched candidate leaks through a defense the
+# expected-outcome matrix says blocks it. The nightly workflow runs the
+# same search at a deep budget with a journaled -resume.
+leaksearch: tools
+	$(BIN)/leakscan -search -search-budget 3 -seed 1 -trials 2 -jobs $(JOBS) -json SEARCH_smoke.json
 
 # Conformance-fuzzing gate: a fixed-seed campaign of generated programs
 # differentially checked against the golden interpreter across the full

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -39,6 +40,7 @@ import (
 	"invisispec/internal/campaign"
 	"invisispec/internal/config"
 	"invisispec/internal/leakage"
+	"invisispec/internal/trace"
 	"invisispec/internal/workload"
 )
 
@@ -73,9 +75,44 @@ func main() {
 		defsF    = flag.String("defenses", "", "comma-separated defense-scheme subset for the matrix columns (default: all registered; see invisisim -listdefenses)")
 		impDir   = flag.String("import", "", "import *.trace files from this directory as workloads before the scan")
 		imported = flag.String("imported", "", "comma-separated imported-attack cells, each name[:secret] (secret defaults to 84, the canonical Spectre); scanned as canonical-Spectre specs replaying the named workload")
+
+		search       = flag.Bool("search", false, "run the feedback-driven attack search instead of a corpus scan (seeded hill-climb over template parameters; see -search-budget)")
+		searchBudget = flag.Int("search-budget", 8, "candidates evaluated per search lane, including the seed (-search)")
+		searchSeeds  = flag.String("search-classes", "", "comma-separated template classes to search (spectre, spectre-btb, spectre-rsb, ssb, llcsb-contend); default: all")
+		blind        = flag.Bool("blind", false, "mutate from the immutable seed instead of hill-climbing (the fuzz baseline; -search)")
+		promoteDir   = flag.String("promote", "", "write minimized find reproducers as replayable *.trace files into this directory (-search)")
+		shrinkBudget = flag.Int("shrink-budget", 0, "ddmin oracle evaluations per find minimization (0 = default 512; -search)")
 	)
 	copts := campaign.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *search {
+		defs, err := config.ParseDefenses(*defsF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leakscan:", err)
+			os.Exit(2)
+		}
+		searchName := *name
+		if searchName == "" {
+			searchName = "search"
+		}
+		os.Exit(runSearch(searchConfig{
+			seed:         *seed,
+			budget:       *searchBudget,
+			classes:      *searchSeeds,
+			blind:        *blind,
+			defenses:     defs,
+			trials:       *trials,
+			jobs:         *jobs,
+			timeout:      *timeout,
+			jsonPath:     *jsonPath,
+			promoteDir:   *promoteDir,
+			shrinkBudget: *shrinkBudget,
+			name:         searchName,
+			verbose:      *verbose,
+			campaign:     copts(),
+		}))
+	}
 
 	if *impDir != "" {
 		if _, err := workload.ImportDir(*impDir); err != nil {
@@ -192,6 +229,153 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nleakscan: PASS — every defense blocks what it claims to block, every expected leak observed")
+}
+
+// searchConfig carries the parsed -search flags.
+type searchConfig struct {
+	seed         int64
+	budget       int
+	classes      string
+	blind        bool
+	defenses     []config.Defense
+	trials       int
+	jobs         int
+	timeout      time.Duration
+	jsonPath     string
+	promoteDir   string
+	shrinkBudget int
+	name         string
+	verbose      bool
+	campaign     campaign.Options
+}
+
+// runSearch drives the feedback-driven attack search (-search): seeded
+// hill-climb lanes over the template classes, every candidate scanned
+// against the defense matrix, finds (a defense leaking where the matrix
+// says blocked) ddmin-minimized and promoted to replayable traces. The
+// exit code mirrors the scan gate: 1 when the search broke a defense, 0
+// when every candidate behaved as the matrix predicts.
+func runSearch(cfg searchConfig) int {
+	seeds, err := searchSeedSpecs(cfg.classes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakscan:", err)
+		return 2
+	}
+	opts := leakage.SearchOptions{
+		Seed:         cfg.seed,
+		Budget:       cfg.budget,
+		Seeds:        seeds,
+		Defenses:     cfg.defenses,
+		Trials:       cfg.trials,
+		Jobs:         cfg.jobs,
+		Timeout:      cfg.timeout,
+		Campaign:     cfg.campaign,
+		Name:         cfg.name,
+		Blind:        cfg.blind,
+		ShrinkBudget: cfg.shrinkBudget,
+	}
+	if cfg.verbose {
+		opts.Progress = os.Stderr
+	}
+	rep, traces, err := leakage.Search(context.Background(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakscan:", err)
+		return 2
+	}
+
+	mode := "hill-climb"
+	if rep.Blind {
+		mode = "blind fuzz"
+	}
+	fmt.Printf("leakscan search: %d lanes x %d candidates (%s, seed %d), %d trials/cell vs %s\n\n",
+		len(rep.Best), rep.Budget, mode, rep.Seed, rep.Trials, strings.Join(rep.Defenses, ","))
+	for _, s := range rep.Steps {
+		marks := ""
+		if s.Accepted {
+			marks += " *"
+		}
+		if s.Repeat {
+			marks += " (repeat)"
+		}
+		fmt.Printf("  [%s] iter %d: %-36s snr %7.2f best %7.2f%s\n",
+			s.Class, s.Iter, s.Attack, s.Score, s.Best, marks)
+	}
+	fmt.Println("\nlane bests:")
+	for _, b := range rep.Best {
+		fmt.Printf("  %-32s -> %-36s snr %.2f\n", b.Class, b.Attack, b.Score)
+	}
+
+	if cfg.jsonPath != "" {
+		if err := artifact.Write(cfg.jsonPath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "leakscan:", err)
+			return 2
+		}
+		fmt.Printf("\nsearch report written to %s\n", cfg.jsonPath)
+	}
+	if cfg.promoteDir != "" && len(traces) > 0 {
+		if err := os.MkdirAll(cfg.promoteDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "leakscan:", err)
+			return 2
+		}
+		for _, tr := range traces {
+			path := filepath.Join(cfg.promoteDir, tr.Name+".trace")
+			if err := trace.WriteFile(path, tr); err != nil {
+				fmt.Fprintln(os.Stderr, "leakscan:", err)
+				return 2
+			}
+			fmt.Printf("promoted reproducer written to %s\n", path)
+		}
+	}
+
+	if len(rep.Finds) > 0 {
+		fmt.Fprintf(os.Stderr, "\nleakscan search: %d FIND(S) — defenses broken by searched attacks:\n", len(rep.Finds))
+		for _, f := range rep.Finds {
+			detail := fmt.Sprintf("snr %.2f", f.SNR)
+			if f.Minimized {
+				detail += fmt.Sprintf(", minimized %d -> %d insts", f.ShrinkFrom, f.ShrinkTo)
+			}
+			if f.TraceName != "" {
+				detail += ", trace " + f.TraceName
+			}
+			if f.Note != "" {
+				detail += " (" + f.Note + ")"
+			}
+			fmt.Fprintf(os.Stderr, "  %s leaks under %s: %s\n", f.Attack, f.Defense, detail)
+		}
+		return 1
+	}
+	fmt.Println("\nleakscan search: PASS — no searched candidate broke a defense")
+	return 0
+}
+
+// searchSeedSpecs resolves -search-classes to lane seed specs: empty means
+// every searchable class, otherwise a comma-separated template-name subset
+// of the canonical seeds.
+func searchSeedSpecs(classes string) ([]leakage.AttackSpec, error) {
+	all := leakage.DefaultSearchSeeds()
+	if classes == "" {
+		return all, nil
+	}
+	byTemplate := map[string]leakage.AttackSpec{}
+	var names []string
+	for _, s := range all {
+		byTemplate[s.Template.String()] = s
+		names = append(names, s.Template.String())
+	}
+	var seeds []leakage.AttackSpec
+	for _, c := range strings.Split(classes, ",") {
+		c = strings.TrimSpace(c)
+		s, ok := byTemplate[c]
+		if !ok {
+			return nil, fmt.Errorf("unknown -search-classes entry %q (want a subset of %s)", c, strings.Join(names, ","))
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds, nil
 }
 
 // parseImported turns the -imported list into attack specs: each entry is

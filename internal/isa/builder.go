@@ -21,6 +21,11 @@ type Builder struct {
 type fixup struct {
 	inst  int
 	label string
+	// imm selects which field the resolved label index patches: the
+	// branch Target (false, the default) or the Imm of an OpLui (true,
+	// emitted by LiLabel so code addresses can be stored to memory and
+	// jumped through indirectly).
+	imm bool
 }
 
 // NewBuilder returns an empty program builder.
@@ -172,6 +177,15 @@ func (b *Builder) Li(rd uint8, v uint64) *Builder {
 	return b.emit(Inst{Op: OpLui, Rd: rd, Imm: int64(v)})
 }
 
+// LiLabel loads the instruction index of label into rd, resolved at Build
+// time. Combined with St/Ld and JmpI/Ret it lets a program materialize code
+// addresses as data — the dispatch-slot idiom the indirect-branch attack
+// templates use.
+func (b *Builder) LiLabel(rd uint8, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), label: label, imm: true})
+	return b.emit(Inst{Op: OpLui, Rd: rd})
+}
+
 // Mov copies rs into rd.
 func (b *Builder) Mov(rd, rs uint8) *Builder { return b.AddI(rd, rs, 0) }
 
@@ -277,7 +291,11 @@ func (b *Builder) Build() (*Program, error) {
 			b.errs = append(b.errs, fmt.Errorf("isa: undefined label %q", f.label))
 			continue
 		}
-		insts[f.inst].Target = pc
+		if f.imm {
+			insts[f.inst].Imm = int64(pc)
+		} else {
+			insts[f.inst].Target = pc
+		}
 	}
 	handler := -1
 	if b.handler != "" {

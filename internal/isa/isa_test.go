@@ -521,3 +521,39 @@ func TestInterpAppliesAlignment(t *testing.T) {
 }
 
 func negU64(v uint64) uint64 { return -v }
+
+// TestBuilderLiLabel covers the dispatch-slot idiom the indirect-branch
+// attack templates rely on: LiLabel materializes a forward label's
+// instruction index as an immediate at Build time, the program stores it
+// to memory, reloads it, and jumps through it with JmpI.
+func TestBuilderLiLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(3, 0x2000).
+		LiLabel(1, "target").
+		St(8, 3, 0, 1). // dispatch slot holds target's pc
+		Ld(8, 2, 3, 0).
+		JmpI(2).
+		Li(5, 99). // skipped: the jump must hop over it
+		Halt().
+		Label("target").
+		Li(5, 7).
+		Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(p.Labels["target"])
+	if got := p.Insts[1].Imm; got != want {
+		t.Fatalf("LiLabel patched Imm = %d, want label index %d", got, want)
+	}
+	it := NewInterp(p)
+	if err := it.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[5] != 7 {
+		t.Fatalf("r5 = %d, want 7 (indirect jump through the dispatch slot)", it.Regs[5])
+	}
+	if _, err := NewBuilder("t").LiLabel(1, "nowhere").Halt().Build(); err == nil {
+		t.Fatal("LiLabel to an undefined label not reported")
+	}
+}

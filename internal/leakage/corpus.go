@@ -73,11 +73,36 @@ func CanonicalSpectreSpec(secret byte) AttackSpec {
 	return spectreSpec(secret, 16, 256, 64)
 }
 
-// SmokeCorpus returns the fixed six-variant corpus the CI gate scans: one
+// classSpec builds a spec of any Spectre-shaped template with the
+// canonical flush settings and probe geometry. TrainRounds means what the
+// template says it means: BTB training calls for v2, call-nesting depth
+// for the RSB variant, bypass rounds for SSB.
+func classSpec(t Template, secret byte, rounds int) AttackSpec {
+	return AttackSpec{
+		Template:    t,
+		Secret:      secret,
+		TrainRounds: rounds,
+		ProbeLines:  256,
+		ProbeStride: 64,
+		FlushBounds: true,
+		FlushProbe:  true,
+	}.withID()
+}
+
+// Canonical per-class specs: the representative variant of each of the
+// four post-v1 attack classes, used by the smoke corpus, the search
+// loop's seeds, and the per-class unit tests.
+func CanonicalBTBSpec(secret byte) AttackSpec   { return classSpec(TemplateSpectreBTB, secret, 16) }
+func CanonicalRSBSpec(secret byte) AttackSpec   { return classSpec(TemplateSpectreRSB, secret, 4) }
+func CanonicalSSBSpec(secret byte) AttackSpec   { return classSpec(TemplateSSB, secret, 8) }
+func CanonicalLLCSBSpec(secret byte) AttackSpec { return classSpec(TemplateLLCSBContend, secret, 16) }
+
+// SmokeCorpus returns the fixed ten-variant corpus the CI gate scans: one
 // representative of every template and threat-model corner, small enough
 // to run in CI yet covering the canonical attack, the fuzz axes (training
 // depth, probe geometry), the cross-thread placement, the annotation
-// threat-model boundary, and Meltdown.
+// threat-model boundary, Meltdown, and the four post-v1 classes (BTB,
+// RSB, store bypass, LLC-SB contention).
 func SmokeCorpus() []AttackSpec {
 	canonical := spectreSpec(84, 16, 256, 64)
 	deepTrain := spectreSpec(173, 32, 256, 64)
@@ -103,7 +128,10 @@ func SmokeCorpus() []AttackSpec {
 		TrustAnnotations: true,
 	}.withID()
 	meltdown := AttackSpec{Template: TemplateMeltdown, Secret: 90}.withID()
-	return []AttackSpec{canonical, deepTrain, wideStride, cross, annotated, meltdown}
+	return []AttackSpec{
+		canonical, deepTrain, wideStride, cross, annotated, meltdown,
+		CanonicalBTBSpec(77), CanonicalRSBSpec(118), CanonicalSSBSpec(151), CanonicalLLCSBSpec(202),
+	}
 }
 
 // Corpus generates n fuzzed attack specs from seed, deterministically:
@@ -121,6 +149,7 @@ func Corpus(seed int64, n int) []AttackSpec {
 		seen  = map[string]bool{}
 	)
 	rounds := []int{4, 8, 16, 32}
+	rsbDepths := []int{1, 2, 4, 8}
 	lines := []int{64, 128, 256}
 	strides := []int{64, 128, 256}
 	for len(specs) < n {
@@ -128,7 +157,7 @@ func Corpus(seed int64, n int) []AttackSpec {
 		// Up to 32 re-rolls to find an unseen variant; after that accept
 		// the duplicate (tiny parameter spaces saturate).
 		for attempt := 0; attempt < 32; attempt++ {
-			switch roll := rng.Intn(10); {
+			switch roll := rng.Intn(14); {
 			case roll < 5: // same-thread Spectre, fuzzed axes
 				l := lines[rng.Intn(len(lines))]
 				s = spectreSpec(
@@ -163,8 +192,16 @@ func Corpus(seed int64, n int) []AttackSpec {
 				base := spectreSpec(byte(1+rng.Intn(255)), 16, 256, 64)
 				base.FlushBounds = false
 				s = base.withID()
-			default: // Meltdown, fuzzed secret
+			case roll < 10: // Meltdown, fuzzed secret
 				s = AttackSpec{Template: TemplateMeltdown, Secret: byte(1 + rng.Intn(255))}.withID()
+			case roll < 11: // Spectre v2 (BTB), fuzzed secret + training depth
+				s = classSpec(TemplateSpectreBTB, byte(1+rng.Intn(255)), rounds[rng.Intn(len(rounds))])
+			case roll < 12: // RSB variant, fuzzed secret + nesting depth (RAS-capped)
+				s = classSpec(TemplateSpectreRSB, byte(1+rng.Intn(255)), rsbDepths[rng.Intn(len(rsbDepths))])
+			case roll < 13: // store bypass, fuzzed secret + bypass rounds
+				s = classSpec(TemplateSSB, byte(1+rng.Intn(255)), rounds[rng.Intn(len(rounds))])
+			default: // LLC-SB contention, fuzzed secret + training depth
+				s = classSpec(TemplateLLCSBContend, byte(1+rng.Intn(255)), rounds[rng.Intn(len(rounds))])
 			}
 			if !seen[s.ID] {
 				break

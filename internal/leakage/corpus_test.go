@@ -26,7 +26,10 @@ func TestSmokeCorpusValid(t *testing.T) {
 			t.Errorf("%s does not assemble: %v", s.ID, err)
 		}
 	}
-	for _, want := range []Template{TemplateSpectre, TemplateSpectreCross, TemplateMeltdown} {
+	for _, want := range []Template{
+		TemplateSpectre, TemplateSpectreCross, TemplateMeltdown,
+		TemplateSpectreBTB, TemplateSpectreRSB, TemplateSSB, TemplateLLCSBContend,
+	} {
 		if !templates[want] {
 			t.Errorf("smoke corpus has no %s variant", want)
 		}
@@ -156,6 +159,52 @@ func TestExpectMatrix(t *testing.T) {
 			config.ISFuture:     VerdictLeak,
 			config.SpecBox:      VerdictLeak,
 			config.BasicBlocker: VerdictBlocked,
+		}},
+		// The post-v1 classes. BTB and RSB variants follow the v1 rows
+		// exactly — the window opener is an indirect jump / return, but
+		// those are still branches to every defense — as does LLC-SB
+		// contention (the victim gadget is v1's behind a bounds check).
+		{"btb", CanonicalBTBSpec(84), map[config.Defense]Verdict{
+			config.Base:         VerdictLeak,
+			config.FenceSpectre: VerdictBlocked,
+			config.ISSpectre:    VerdictBlocked,
+			config.FenceFuture:  VerdictBlocked,
+			config.ISFuture:     VerdictBlocked,
+			config.SpecBox:      VerdictBlocked,
+			config.BasicBlocker: VerdictBlocked,
+		}},
+		{"rsb", CanonicalRSBSpec(84), map[config.Defense]Verdict{
+			config.Base:         VerdictLeak,
+			config.FenceSpectre: VerdictBlocked,
+			config.ISFuture:     VerdictBlocked,
+			config.BasicBlocker: VerdictBlocked,
+		}},
+		{"llcsb", CanonicalLLCSBSpec(84), map[config.Defense]Verdict{
+			config.Base:      VerdictLeak,
+			config.ISSpectre: VerdictBlocked,
+			config.ISFuture:  VerdictBlocked,
+			config.SpecBox:   VerdictBlocked,
+		}},
+		// SSB's window is an older store's unresolved address — no branch
+		// anywhere — so every branch-scoped defense misses it by design:
+		// the store-queue analogue of Meltdown's exception rows.
+		{"ssb", CanonicalSSBSpec(84), map[config.Defense]Verdict{
+			config.Base:         VerdictLeak,
+			config.FenceSpectre: VerdictLeak,
+			config.ISSpectre:    VerdictLeak,
+			config.FenceFuture:  VerdictBlocked,
+			config.ISFuture:     VerdictBlocked,
+			config.SpecBox:      VerdictBlocked,
+			config.BasicBlocker: VerdictLeak,
+		}},
+		{"ssb-no-flush-probe", func() AttackSpec {
+			s := CanonicalSSBSpec(84)
+			s.FlushProbe = false
+			return s.withID()
+		}(), map[config.Defense]Verdict{
+			config.Base:         VerdictInconclusive,
+			config.FenceSpectre: VerdictInconclusive,
+			config.ISFuture:     VerdictInconclusive,
 		}},
 	}
 	for _, tc := range cases {

@@ -172,6 +172,9 @@ func Analyze(trials [][]uint64, secret int, th Thresholds) Analysis {
 		}
 		medSum += float64(med)
 		secSum += secLat
+		// Zero-median clamp: a degenerate trial (every probe line
+		// reporting zero latency — a fully-cached or truncated sweep)
+		// contributes 0 to the margin instead of dividing by med.
 		if med > 0 {
 			marginSum += (float64(med) - secLat) / float64(med)
 		}
@@ -197,10 +200,10 @@ func Analyze(trials [][]uint64, secret int, th Thresholds) Analysis {
 	n := float64(len(trials))
 	a.HitRate = float64(hits) / n
 	a.HotRate = float64(hots) / n
-	a.Margin = marginSum / n
-	a.SNR = snrSum / n
-	a.MedianLatency = medSum / n
-	a.SecretLatency = secSum / n
+	a.Margin = clampFinite(marginSum / n)
+	a.SNR = clampFinite(snrSum / n)
+	a.MedianLatency = clampFinite(medSum / n)
+	a.SecretLatency = clampFinite(secSum / n)
 	a.RecoveredByte = majority(votes)
 	switch {
 	case a.HitRate >= th.LeakRate:
@@ -213,6 +216,19 @@ func Analyze(trials [][]uint64, secret int, th Thresholds) Analysis {
 		a.Verdict = VerdictInconclusive
 	}
 	return a
+}
+
+// clampFinite maps NaN and ±Inf to 0. The per-trial loop already guards
+// its divisions (zero-median margin skip, noise floored at 1), but every
+// Analysis field flows straight into encoding/json, which refuses
+// non-finite values and would fail the whole report write — so the
+// aggregates are clamped here as a last line of defense rather than
+// trusting every future edit of the loop above.
+func clampFinite(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
 }
 
 // medianU64 returns the median of xs (upper of the two middles for even

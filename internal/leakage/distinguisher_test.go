@@ -1,6 +1,10 @@
 package leakage
 
-import "testing"
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
 
 // synthTrial builds one synthetic probe-line latency scan: every line at
 // the cold floor except the listed hot lines.
@@ -136,5 +140,46 @@ func TestVerdictTextRoundTrip(t *testing.T) {
 	var v Verdict
 	if err := v.UnmarshalText([]byte("bogus")); err == nil {
 		t.Fatal("unmarshal of bogus verdict succeeded")
+	}
+}
+
+func TestAnalyzeZeroMedianTrials(t *testing.T) {
+	// Degenerate sweeps — every probe line reporting zero latency, or no
+	// probe lines at all — must produce finite, JSON-encodable aggregates
+	// (encoding/json refuses NaN/Inf and would fail the whole report
+	// write), not divide by the zero median.
+	for name, trials := range map[string][][]uint64{
+		"all-zero":  {make([]uint64, 256), make([]uint64, 256)},
+		"empty-lat": {{}, {}},
+		"mixed":     {make([]uint64, 256), synthTrial(256, 115, map[int]uint64{84: 2})},
+	} {
+		a := Analyze(trials, 84, Thresholds{})
+		for field, v := range map[string]float64{
+			"Margin": a.Margin, "SNR": a.SNR,
+			"MedianLatency": a.MedianLatency, "SecretLatency": a.SecretLatency,
+			"HitRate": a.HitRate, "HotRate": a.HotRate, "Confidence": a.Confidence,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: %s = %v, want finite", name, field, v)
+			}
+		}
+		if _, err := json.Marshal(a); err != nil {
+			t.Fatalf("%s: json.Marshal: %v", name, err)
+		}
+	}
+}
+
+func TestClampFinite(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{math.NaN(), 0},
+		{math.Inf(1), 0},
+		{math.Inf(-1), 0},
+		{1.5, 1.5},
+		{-3, -3},
+		{0, 0},
+	} {
+		if got := clampFinite(tc.in); got != tc.want {
+			t.Fatalf("clampFinite(%v) = %v, want %v", tc.in, got, tc.want)
+		}
 	}
 }

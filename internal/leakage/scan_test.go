@@ -87,9 +87,15 @@ func TestControlVariants(t *testing.T) {
 
 // TestScanDeterministicAcrossWorkers is the artifact-stability criterion:
 // the JSON report must be byte-identical between a serial scan and a
-// 4-worker scan of the same corpus.
+// 4-worker scan of the same corpus — including every post-v1 attack class.
 func TestScanDeterministicAcrossWorkers(t *testing.T) {
-	specs := []AttackSpec{CanonicalSpectreSpec(84)}
+	specs := []AttackSpec{
+		CanonicalSpectreSpec(84),
+		CanonicalBTBSpec(84),
+		CanonicalRSBSpec(84),
+		CanonicalSSBSpec(84),
+		CanonicalLLCSBSpec(84),
+	}
 	opts := ScanOptions{
 		Defenses: []config.Defense{config.Base, config.ISSpectre},
 		Trials:   2,

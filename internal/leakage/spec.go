@@ -38,6 +38,30 @@ const (
 	// transients, so this template distinguishes the Spectre and
 	// Futuristic threat models.
 	TemplateMeltdown
+	// TemplateSpectreBTB is Spectre v2 (workload.SpectreV2With): the
+	// attacker poisons the BTB so the victim's indirect dispatch
+	// transiently jumps to a secret-reading gadget. TrainRounds counts
+	// BTB training calls; FlushBounds flushes the dispatch slot.
+	TemplateSpectreBTB
+	// TemplateSpectreRSB is the return-based variant
+	// (workload.SpectreRSBWith): a deep call chain whose innermost frame
+	// returns through a flushed memory slot, so the RAS-predicted return
+	// site — the gadget — runs transiently. TrainRounds is the nesting
+	// depth; FlushBounds flushes the return slot.
+	TemplateSpectreRSB
+	// TemplateSSB is the speculative store bypass (workload.SSBWith): a
+	// load issues past an older store with an unresolved address and
+	// reads the stale secret. No branch opens the window, so
+	// branch-scoped defenses never engage — the store-queue analogue of
+	// Meltdown's threat-model split. TrainRounds counts bypass rounds.
+	TemplateSSB
+	// TemplateLLCSBContend is the cross-core speculative-buffer residue
+	// test (workload.LLCSBContendWith): an autonomous victim runs one
+	// out-of-bounds gadget call whose transient loads burst at the
+	// secret-indexed line; a purely passive observer on the second core
+	// then times the probe array. Under InvisiSpec the fills are confined
+	// to the victim's per-core LLC-SB and must stay invisible.
+	TemplateLLCSBContend
 )
 
 // String names the template the way the report's cells do.
@@ -49,6 +73,14 @@ func (t Template) String() string {
 		return "spectre-cross"
 	case TemplateMeltdown:
 		return "meltdown"
+	case TemplateSpectreBTB:
+		return "spectre-btb"
+	case TemplateSpectreRSB:
+		return "spectre-rsb"
+	case TemplateSSB:
+		return "ssb"
+	case TemplateLLCSBContend:
+		return "llcsb-contend"
 	}
 	return fmt.Sprintf("Template(%d)", int(t))
 }
@@ -116,9 +148,24 @@ func (s AttackSpec) Validate() error {
 		return fmt.Errorf("leakage: %s: secret must be nonzero (line 0 collects training residue)", s.ID)
 	}
 	switch s.Template {
-	case TemplateSpectre, TemplateSpectreCross:
+	case TemplateSpectre, TemplateSpectreCross, TemplateLLCSBContend:
 		if err := s.params().Validate(); err != nil {
 			return fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+	case TemplateSpectreBTB:
+		if err := s.params().ValidateBTB(); err != nil {
+			return fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+	case TemplateSpectreRSB:
+		if err := s.params().ValidateRSB(); err != nil {
+			return fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+	case TemplateSSB:
+		if err := s.params().ValidateSSB(); err != nil {
+			return fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+		if s.TrustAnnotations {
+			return fmt.Errorf("leakage: %s: TrustAnnotations unsupported (ssb has no annotated loads)", s.ID)
 		}
 	case TemplateMeltdown:
 		// Geometry is fixed; only the secret matters.
@@ -130,7 +177,7 @@ func (s AttackSpec) Validate() error {
 
 // Cores returns how many cores the spec's machine needs.
 func (s AttackSpec) Cores() int {
-	if s.Template == TemplateSpectreCross {
+	if s.Template == TemplateSpectreCross || s.Template == TemplateLLCSBContend {
 		return 2
 	}
 	return 1
@@ -176,6 +223,30 @@ func (s AttackSpec) Programs() ([]*isa.Program, error) {
 		return progs, nil
 	case TemplateMeltdown:
 		return []*isa.Program{workload.Meltdown(s.Secret)}, nil
+	case TemplateSpectreBTB:
+		p, err := workload.SpectreV2With(s.params())
+		if err != nil {
+			return nil, fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+		return []*isa.Program{p}, nil
+	case TemplateSpectreRSB:
+		p, err := workload.SpectreRSBWith(s.params())
+		if err != nil {
+			return nil, fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+		return []*isa.Program{p}, nil
+	case TemplateSSB:
+		p, err := workload.SSBWith(s.params())
+		if err != nil {
+			return nil, fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+		return []*isa.Program{p}, nil
+	case TemplateLLCSBContend:
+		progs, err := workload.LLCSBContendWith(s.params())
+		if err != nil {
+			return nil, fmt.Errorf("leakage: %s: %w", s.ID, err)
+		}
+		return progs, nil
 	}
 	return nil, fmt.Errorf("leakage: %s: unknown template %d", s.ID, int(s.Template))
 }
@@ -222,8 +293,38 @@ func (s AttackSpec) ResultLines() int {
 //     never reaches the head un-squashed); BasicBlocker leaks it — the
 //     faulting load and its dependent transmit load share a basic block,
 //     so no block-boundary stall separates them.
+//   - Spectre-BTB and Spectre-RSB follow the v1 rows exactly: the window
+//     opener is an indirect jump / return instead of a conditional
+//     branch, but all of those are branches to every defense (fences
+//     serialize after them, IS-Sp's unresolved-branch test covers them,
+//     BasicBlocker's block boundaries fall at them), so the full-flush
+//     variants leak only on Base and the control/annotation axes behave
+//     as in v1.
+//   - SSB: the window is an older store's unresolved address — no branch
+//     anywhere — so every branch-scoped defense misses it BY DESIGN:
+//     leaks on Base, Fe-Sp, IS-Sp and BasicBlocker (documented
+//     threat-model rows, the store-queue analogue of Meltdown's
+//     exception rows; InvisiSpec's Spectre model only covers branch
+//     speculation). Fe-Fu's per-load fences wait out the store, and
+//     under IS-Fu/SpecBox the bypassing loads are unsafe (an older
+//     unperformed store) so their fills stay invisible: Blocked.
+//   - LLC-SB contention: the victim-side gadget is v1's behind the same
+//     bounds check, so the rows match the cross-thread placement —
+//     full-flush leaks only on Base; under every InvisiSpec scheme the
+//     burst fills land in the victim's LLC-SB and stay invisible to the
+//     observer core.
 func (s AttackSpec) Expect(d config.Defense) Verdict {
 	if s.Template == TemplateMeltdown {
+		switch d {
+		case config.Base, config.FenceSpectre, config.ISSpectre, config.BasicBlocker:
+			return VerdictLeak
+		}
+		return VerdictBlocked
+	}
+	if s.Template == TemplateSSB {
+		if !s.FlushProbe {
+			return VerdictInconclusive
+		}
 		switch d {
 		case config.Base, config.FenceSpectre, config.ISSpectre, config.BasicBlocker:
 			return VerdictLeak
